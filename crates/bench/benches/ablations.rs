@@ -1,0 +1,70 @@
+//! Ablation benches for design choices DESIGN.md calls out:
+//! clean-line SNC bypass, write-buffer depth, and the context-switch
+//! SNC flush cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_core::{Machine, MachineConfig, SecureBackend, SecureBackendConfig, SecurityMode};
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+fn cycles(mut config: MachineConfig, bench: &str) -> u64 {
+    let mut workload = SpecWorkload::new(benchmark_profile(bench));
+    config.security.mode = SecurityMode::otp_lru_64k();
+    let mut m = Machine::new(config);
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
+    m.run(&mut workload, 40_000, 120_000).stats.cycles
+}
+
+fn clean_line_bypass(c: &mut Criterion) {
+    // The paper never spells out how reads of never-written lines avoid
+    // the SNC; this ablation quantifies why the bypass matters (art is
+    // all clean streaming reads).
+    let mut g = c.benchmark_group("ablation_clean_bypass");
+    g.sample_size(10);
+    for bypass in [true, false] {
+        g.bench_with_input(BenchmarkId::from_parameter(bypass), &bypass, |b, &on| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::paper(SecurityMode::otp_lru_64k());
+                cfg.security.clean_lines_bypass = on;
+                cycles(cfg, "art")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn write_buffer_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_write_buffer");
+    g.sample_size(10);
+    for entries in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &n| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::paper(SecurityMode::otp_lru_64k());
+                cfg.security.write_buffer_entries = n;
+                cycles(cfg, "gcc")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn context_switch_flush(c: &mut Criterion) {
+    // §4.3: flushing the SNC with encryption on a context switch.
+    let mut g = c.benchmark_group("ablation_context_flush");
+    g.sample_size(20);
+    for entries in [1024u64, 32 * 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &n| {
+            b.iter(|| {
+                let mut backend =
+                    SecureBackend::new(SecureBackendConfig::paper(SecurityMode::otp_lru_64k()));
+                backend.pre_age((0..n).map(|i| 0x4000_0000 + i * 128), std::iter::empty());
+                backend.context_switch_flush(0)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, clean_line_bypass, write_buffer_depth, context_switch_flush);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks for the crypto substrate: block ciphers,
+//! one-time-pad line encryption, hashing, and MACs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use padlock_crypto::{Aes128, BlockCipher, CbcMac, Des, OneTimePad, Sha256, TripleDes};
+
+fn primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto_primitives");
+    let des = Des::new(0x0123_4567_89AB_CDEF);
+    let tdes = TripleDes::new(0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210);
+    let aes = Aes128::new(&[7u8; 16]);
+    let line = vec![0x5Au8; 128];
+
+    g.throughput(Throughput::Bytes(8));
+    g.bench_function("des_block", |b| {
+        let mut block = [0u8; 8];
+        b.iter(|| des.encrypt_block(&mut block))
+    });
+    g.bench_function("3des_block", |b| {
+        let mut block = [0u8; 8];
+        b.iter(|| tdes.encrypt_block(&mut block))
+    });
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("aes128_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| aes.encrypt_block(&mut block))
+    });
+
+    g.throughput(Throughput::Bytes(128));
+    let otp_des = OneTimePad::new(Des::new(42));
+    g.bench_function("otp_line_des", |b| b.iter(|| otp_des.encrypt(0x4000, &line)));
+    let otp_aes = OneTimePad::new(Aes128::new(&[3u8; 16]));
+    g.bench_function("otp_line_aes", |b| b.iter(|| otp_aes.encrypt(0x4000, &line)));
+    g.bench_function("sha256_line", |b| b.iter(|| Sha256::digest(&line)));
+    let mac = CbcMac::new(Des::new(9));
+    g.bench_function("cbcmac_line", |b| b.iter(|| mac.tag(0x4000, &line)));
+    g.finish();
+}
+
+criterion_group!(benches, primitives);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 10: sensitivity to a 102-cycle crypto
+//! unit — XOM doubles its loss, the SNC design barely moves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::MachineKind;
+use padlock_core::Machine;
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+fn run(kind: MachineKind) -> u64 {
+    let mut workload = SpecWorkload::new(benchmark_profile("art"));
+    let mut m = Machine::new(kind.config());
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
+    m.run(&mut workload, 40_000, 120_000).stats.cycles
+}
+
+fn fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_crypto_latency");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("xom_50", MachineKind::Xom),
+        ("xom_102", MachineKind::XomSlow),
+        ("snc_lru_50", MachineKind::LruFull(64)),
+        ("snc_lru_102", MachineKind::Lru64Slow),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &k| {
+            b.iter(|| run(k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench regenerating Figure 3's data point class: the cost of
+//! XOM's serial decryption on a memory-bound benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::MachineKind;
+use padlock_core::Machine;
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+fn run(kind: MachineKind, bench: &str) -> u64 {
+    let mut workload = SpecWorkload::new(benchmark_profile(bench));
+    let mut m = Machine::new(kind.config());
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
+    m.run(&mut workload, 40_000, 120_000).stats.cycles
+}
+
+fn fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_xom_slowdown");
+    g.sample_size(10);
+    for bench in ["art", "mcf", "gzip"] {
+        g.bench_with_input(BenchmarkId::new("baseline", bench), bench, |b, name| {
+            b.iter(|| run(MachineKind::Baseline, name))
+        });
+        g.bench_with_input(BenchmarkId::new("xom", bench), bench, |b, name| {
+            b.iter(|| run(MachineKind::Xom, name))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

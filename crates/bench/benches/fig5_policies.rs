@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 5: XOM vs no-replacement SNC vs LRU SNC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::MachineKind;
+use padlock_core::Machine;
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+fn run(kind: MachineKind) -> u64 {
+    let mut workload = SpecWorkload::new(benchmark_profile("gcc"));
+    let mut m = Machine::new(kind.config());
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
+    m.run(&mut workload, 40_000, 120_000).stats.cycles
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_policies");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("xom", MachineKind::Xom),
+        ("snc_norepl", MachineKind::Norepl64),
+        ("snc_lru", MachineKind::LruFull(64)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &k| {
+            b.iter(|| run(k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 6: the SNC capacity sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::MachineKind;
+use padlock_core::Machine;
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+fn run(kb: u32) -> u64 {
+    let mut workload = SpecWorkload::new(benchmark_profile("equake"));
+    let mut m = Machine::new(MachineKind::LruFull(kb).config());
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
+    m.run(&mut workload, 40_000, 120_000).stats.cycles
+}
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_snc_size");
+    g.sample_size(10);
+    for kb in [32u32, 64, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, &kb| {
+            b.iter(|| run(kb))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

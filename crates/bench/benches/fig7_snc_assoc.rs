@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 7: SNC associativity (ammp is the
+//! benchmark whose strided write set makes 32 ways visibly worse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::MachineKind;
+use padlock_core::Machine;
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+fn run(kind: MachineKind) -> u64 {
+    let mut workload = SpecWorkload::new(benchmark_profile("ammp"));
+    let mut m = Machine::new(kind.config());
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
+    m.run(&mut workload, 40_000, 120_000).stats.cycles
+}
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_snc_assoc");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("fully_assoc", MachineKind::LruFull(64)),
+        ("way32", MachineKind::Lru64Way32),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &k| {
+            b.iter(|| run(k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 8: equal-area XOM-with-bigger-L2 vs
+//! L2 + SNC (vortex gains most from the larger L2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_area::paper_fig8_areas;
+use padlock_bench::MachineKind;
+use padlock_core::Machine;
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+fn run(kind: MachineKind) -> u64 {
+    let mut workload = SpecWorkload::new(benchmark_profile("vortex"));
+    let mut m = Machine::new(kind.config());
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
+    m.run(&mut workload, 40_000, 120_000).stats.cycles
+}
+
+fn fig8(c: &mut Criterion) {
+    // The premise of the figure: the configurations really are
+    // equal-area under the CACTI-like model.
+    let (combo, mid, big) = paper_fig8_areas();
+    assert!(mid < combo && combo < big);
+
+    let mut g = c.benchmark_group("fig8_equal_area");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("xom_256k", MachineKind::Xom),
+        ("xom_384k", MachineKind::Xom384),
+        ("snc_32way_256k", MachineKind::Lru64Way32),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &k| {
+            b.iter(|| run(k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

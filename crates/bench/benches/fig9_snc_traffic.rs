@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 9: the cost side of LRU replacement —
+//! measured as simulation of the machine whose SNC induces the traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::MachineKind;
+use padlock_core::Machine;
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+fn traffic_percent(bench: &str) -> f64 {
+    let mut workload = SpecWorkload::new(benchmark_profile(bench));
+    let mut m = Machine::new(MachineKind::LruFull(64).config());
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
+    m.run(&mut workload, 40_000, 120_000).snc_traffic_percent()
+}
+
+fn fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_snc_traffic");
+    g.sample_size(10);
+    for bench in ["mcf", "vortex"] {
+        g.bench_with_input(BenchmarkId::from_parameter(bench), bench, |b, name| {
+            b.iter(|| traffic_percent(name))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Regenerates every table/figure of the paper.
+//!
+//! ```text
+//! repro                  # all figures at full scale
+//! repro --quick          # smaller measurement windows
+//! repro --figure 5       # one figure
+//! repro --csv target/repro   # also write CSV files
+//! ```
+
+use padlock_bench::{Lab, RunScale};
+use std::path::PathBuf;
+
+struct Args {
+    figure: Option<u32>,
+    scale: RunScale,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        figure: None,
+        scale: RunScale::Full,
+        csv_dir: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--figure" | "-f" => {
+                let v = iter.next().expect("--figure needs a number");
+                args.figure = Some(v.parse().expect("figure number"));
+            }
+            "--quick" => args.scale = RunScale::Quick,
+            "--smoke" => args.scale = RunScale::Smoke,
+            "--csv" => {
+                let v = iter.next().expect("--csv needs a directory");
+                args.csv_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR]\n\
+                     Regenerates the figures of 'Fast Secure Processor for\n\
+                     Inhibiting Software Piracy and Tampering' (MICRO-36, 2003)."
+                );
+                std::process::exit(0);
+            }
+            "--calibrate" | "--snc" => {}
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn calibrate(lab: &mut Lab) {
+    use padlock_bench::MachineKind;
+    println!("bench     cpi    l2miss/ki  wb/ki   mispred%");
+    for b in [
+        "ammp", "art", "bzip2", "equake", "gcc", "gzip", "mcf", "mesa", "parser", "vortex", "vpr",
+    ] {
+        let m = lab.measure(b, MachineKind::Baseline);
+        let ki = m.stats.instructions as f64 / 1000.0;
+        println!(
+            "{:8} {:5.2}  {:9.2}  {:5.2}  {:7.2}",
+            b,
+            m.stats.cpi(),
+            m.l2.get("misses") as f64 / ki,
+            m.traffic.get("line_writes") as f64 / ki,
+            m.stats.mispredicts as f64 / m.stats.branches.max(1) as f64 * 100.0,
+        );
+    }
+}
+
+fn snc_diag(lab: &mut Lab, kind: padlock_bench::MachineKind) {
+    println!("\nSNC diagnostics for {kind}:");
+    println!("bench     qhit/ki  qmiss/ki  uhit/ki  umiss/ki  inst/ki  spill/ki");
+    for b in [
+        "ammp", "art", "bzip2", "equake", "gcc", "gzip", "mcf", "mesa", "parser", "vortex", "vpr",
+    ] {
+        let m = lab.measure(b, kind);
+        let ki = m.stats.instructions as f64 / 1000.0;
+        let g = |k: &str| m.snc.get(k) as f64 / ki;
+        println!(
+            "{:8} {:8.2} {:9.2} {:8.2} {:9.2} {:8.2} {:9.2}",
+            b,
+            g("query_hits"),
+            g("query_misses"),
+            g("update_hits"),
+            g("update_misses"),
+            g("installs"),
+            g("spills"),
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut lab = Lab::new(args.scale);
+    if std::env::args().any(|a| a == "--calibrate") {
+        calibrate(&mut lab);
+        if std::env::args().any(|a| a == "--snc") {
+            snc_diag(&mut lab, padlock_bench::MachineKind::LruFull(32));
+            snc_diag(&mut lab, padlock_bench::MachineKind::LruFull(64));
+        }
+        return;
+    }
+    let wanted: Vec<u32> = match args.figure {
+        Some(n) => vec![n],
+        None => vec![3, 5, 6, 7, 8, 9, 10],
+    };
+    if let Some(dir) = &args.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for n in wanted {
+        let fig = match n {
+            3 => lab.figure3(),
+            5 => lab.figure5(),
+            6 => lab.figure6(),
+            7 => lab.figure7(),
+            8 => lab.figure8(),
+            9 => lab.figure9(),
+            10 => lab.figure10(),
+            other => {
+                eprintln!("no figure {other} in the paper's evaluation (3,5..10)");
+                std::process::exit(2);
+            }
+        };
+        println!("== {} — {} [{}] ==", fig.id, fig.title, fig.unit);
+        println!("{}", fig.table().render_text());
+        if let Some(dir) = &args.csv_dir {
+            let path = dir.join(format!("figure{n}.csv"));
+            std::fs::write(&path, fig.table().render_csv()).expect("write csv");
+            println!("(csv written to {})", path.display());
+        }
+    }
+}

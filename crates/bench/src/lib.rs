@@ -1,0 +1,30 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! Each `figure*` function runs the machines that figure compares across
+//! the 11-benchmark suite and returns a [`FigureResult`] holding both our
+//! measured series and the paper's published series, rendered side by
+//! side by the `repro` binary. Simulation results are memoised per
+//! `(benchmark, machine)` pair inside a [`Lab`], because the figures
+//! share machine configurations (Fig. 3's XOM column reappears in
+//! Figs. 5 and 8).
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock_bench::{Lab, RunScale};
+//!
+//! let mut lab = Lab::new(RunScale::Smoke);
+//! let fig = lab.figure3();
+//! assert_eq!(fig.rows.len(), 11);
+//! ```
+
+#![warn(missing_docs)]
+
+mod figures;
+mod lab;
+mod paper_data;
+
+pub use figures::{FigureResult, Series};
+pub use lab::{Lab, MachineKind, RunScale};
+pub use paper_data::{paper_series, ORDER};

@@ -1,0 +1,429 @@
+//! Compartments: XOM IDs, tagged registers, and interrupt-time register
+//! protection (paper §2.3 and §4.3).
+//!
+//! Each active task runs in a *compartment* identified by a XOM ID; data
+//! written to registers is tagged with the owner's ID, and a different
+//! compartment (including the OS, ID 0) reading it is a violation. On an
+//! interrupt the register file is encrypted under the compartment key
+//! with a *mutating counter* so a malicious OS can neither read register
+//! values nor replay a stale frame — the same mutation argument that
+//! motivates the paper's per-line sequence numbers.
+
+use padlock_crypto::{CbcMac, CipherKind, OneTimePad};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compartment identifier; `XomId(0)` is the untrusted/shared domain
+/// (the OS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XomId(pub u16);
+
+impl XomId {
+    /// The null/shared compartment (the OS).
+    pub const NULL: XomId = XomId(0);
+}
+
+impl fmt::Display for XomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xom:{}", self.0)
+    }
+}
+
+/// Errors raised by compartment operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompartmentError {
+    /// A register owned by one compartment was read from another.
+    RegisterViolation {
+        /// Register index.
+        reg: usize,
+        /// Owner of the value.
+        owner: XomId,
+        /// Compartment that attempted the read.
+        reader: XomId,
+    },
+    /// An interrupt frame failed authentication on resume.
+    FrameRejected,
+    /// An interrupt frame was replayed (stale counter).
+    FrameReplayed {
+        /// Counter in the frame.
+        frame_counter: u64,
+        /// Counter the processor expected.
+        expected: u64,
+    },
+    /// The compartment is not registered.
+    UnknownCompartment(XomId),
+}
+
+impl fmt::Display for CompartmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompartmentError::RegisterViolation { reg, owner, reader } => {
+                write!(f, "register r{reg} owned by {owner} read by {reader}")
+            }
+            CompartmentError::FrameRejected => write!(f, "interrupt frame failed its MAC"),
+            CompartmentError::FrameReplayed {
+                frame_counter,
+                expected,
+            } => write!(
+                f,
+                "interrupt frame replay: counter {frame_counter}, expected {expected}"
+            ),
+            CompartmentError::UnknownCompartment(id) => write!(f, "unknown compartment {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CompartmentError {}
+
+/// The number of architectural registers in the tagged file.
+pub const NUM_REGS: usize = 32;
+
+/// An encrypted register-file snapshot produced on an interrupt.
+///
+/// The OS holds this opaque blob; only the owning compartment's key and
+/// the processor's expected counter can restore it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterruptFrame {
+    owner: XomId,
+    counter: u64,
+    ciphertext: Vec<u8>,
+    tag: [u8; 8],
+}
+
+impl InterruptFrame {
+    /// The compartment the frame belongs to.
+    pub fn owner(&self) -> XomId {
+        self.owner
+    }
+
+    /// The mutation counter baked into the frame.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Adversary entry point: tamper with the ciphertext.
+    pub fn attack_tamper(&mut self, byte: usize) {
+        let idx = byte % self.ciphertext.len();
+        self.ciphertext[idx] ^= 1;
+    }
+}
+
+/// A register value tagged with its owning compartment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct TaggedWord {
+    value: u64,
+    owner: Option<XomId>,
+}
+
+/// The compartment manager: tagged register file, per-compartment keys,
+/// and interrupt save/restore.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_core::compartment::{CompartmentManager, XomId};
+///
+/// let mut cm = CompartmentManager::new();
+/// cm.register_compartment(XomId(1), [7u8; 16]);
+/// cm.enter(XomId(1)).unwrap();
+/// cm.write_reg(3, 42);
+/// assert_eq!(cm.read_reg(3).unwrap(), 42);
+/// // The OS cannot read the tagged register:
+/// cm.enter(XomId::NULL).unwrap();
+/// assert!(cm.read_reg(3).is_err());
+/// ```
+#[derive(Debug)]
+pub struct CompartmentManager {
+    regs: [TaggedWord; NUM_REGS],
+    active: XomId,
+    keys: HashMap<XomId, [u8; 16]>,
+    /// Monotonic interrupt counter: the "mutating value" of §3.4.
+    interrupt_counter: u64,
+    /// Per-compartment expected counter for replay rejection.
+    expected_counter: HashMap<XomId, u64>,
+}
+
+impl Default for CompartmentManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompartmentManager {
+    /// Creates a manager with an empty register file, active in the
+    /// null compartment.
+    pub fn new() -> Self {
+        Self {
+            regs: [TaggedWord::default(); NUM_REGS],
+            active: XomId::NULL,
+            keys: HashMap::new(),
+            interrupt_counter: 0,
+            expected_counter: HashMap::new(),
+        }
+    }
+
+    /// Registers a compartment and its symmetric key (derived from the
+    /// program's `Ks` at load time).
+    pub fn register_compartment(&mut self, id: XomId, key: [u8; 16]) {
+        self.keys.insert(id, key);
+    }
+
+    /// The active compartment.
+    pub fn active(&self) -> XomId {
+        self.active
+    }
+
+    /// Enters a compartment (the `enter_xom` instruction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompartmentError::UnknownCompartment`] for unregistered
+    /// non-null IDs.
+    pub fn enter(&mut self, id: XomId) -> Result<(), CompartmentError> {
+        if id != XomId::NULL && !self.keys.contains_key(&id) {
+            return Err(CompartmentError::UnknownCompartment(id));
+        }
+        self.active = id;
+        Ok(())
+    }
+
+    /// Writes a register, tagging it with the active compartment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= NUM_REGS`.
+    pub fn write_reg(&mut self, reg: usize, value: u64) {
+        self.regs[reg] = TaggedWord {
+            value,
+            owner: Some(self.active),
+        };
+    }
+
+    /// Reads a register; fails when the tag belongs to another
+    /// compartment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompartmentError::RegisterViolation`] on cross-
+    /// compartment reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= NUM_REGS`.
+    pub fn read_reg(&self, reg: usize) -> Result<u64, CompartmentError> {
+        let w = &self.regs[reg];
+        match w.owner {
+            None => Ok(w.value),
+            Some(owner) if owner == self.active => Ok(w.value),
+            Some(owner) => Err(CompartmentError::RegisterViolation {
+                reg,
+                owner,
+                reader: self.active,
+            }),
+        }
+    }
+
+    fn crypto_for(&self, id: XomId) -> Result<(OneTimePad<Box<dyn padlock_crypto::BlockCipher>>, CbcMac<Box<dyn padlock_crypto::BlockCipher>>), CompartmentError> {
+        let key = self
+            .keys
+            .get(&id)
+            .ok_or(CompartmentError::UnknownCompartment(id))?;
+        let otp = OneTimePad::new(CipherKind::Aes128.instantiate(key));
+        let mut mac_key = *key;
+        for b in &mut mac_key {
+            *b ^= 0xA5;
+        }
+        let mac = CbcMac::new(CipherKind::Aes128.instantiate(&mac_key));
+        Ok((otp, mac))
+    }
+
+    /// Handles an interrupt: encrypts the active compartment's registers
+    /// under a fresh counter, scrubs the register file, and switches to
+    /// the null compartment. Returns the opaque frame the OS will hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompartmentError::UnknownCompartment`] if the active
+    /// compartment has no key (the null compartment cannot be
+    /// interrupted into a frame).
+    pub fn interrupt(&mut self) -> Result<InterruptFrame, CompartmentError> {
+        let owner = self.active;
+        let (otp, mac) = self.crypto_for(owner)?;
+        self.interrupt_counter += 1;
+        let counter = self.interrupt_counter;
+        let mut plain = Vec::with_capacity(NUM_REGS * 8);
+        for w in &self.regs {
+            plain.extend_from_slice(&w.value.to_le_bytes());
+        }
+        // Seed = mutating counter: a fresh pad per interrupt event.
+        let ciphertext = otp.encrypt(counter.wrapping_mul(0x1_0001), &plain);
+        let tag = mac.tag(counter, &ciphertext);
+        self.expected_counter.insert(owner, counter);
+        // Scrub and hand control to the OS.
+        self.regs = [TaggedWord::default(); NUM_REGS];
+        self.active = XomId::NULL;
+        Ok(InterruptFrame {
+            owner,
+            counter,
+            ciphertext,
+            tag,
+        })
+    }
+
+    /// Resumes a compartment from an interrupt frame, verifying
+    /// authenticity and freshness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompartmentError::FrameRejected`] on MAC failure and
+    /// [`CompartmentError::FrameReplayed`] when the counter is stale.
+    pub fn resume(&mut self, frame: &InterruptFrame) -> Result<(), CompartmentError> {
+        let (otp, mac) = self.crypto_for(frame.owner)?;
+        if !mac.verify(frame.counter, &frame.ciphertext, &frame.tag) {
+            return Err(CompartmentError::FrameRejected);
+        }
+        let expected = self
+            .expected_counter
+            .get(&frame.owner)
+            .copied()
+            .unwrap_or(0);
+        if frame.counter != expected {
+            return Err(CompartmentError::FrameReplayed {
+                frame_counter: frame.counter,
+                expected,
+            });
+        }
+        let plain = otp.decrypt(frame.counter.wrapping_mul(0x1_0001), &frame.ciphertext);
+        for (i, chunk) in plain.chunks_exact(8).enumerate() {
+            self.regs[i] = TaggedWord {
+                value: u64::from_le_bytes(chunk.try_into().expect("8 bytes")),
+                owner: Some(frame.owner),
+            };
+        }
+        self.active = frame.owner;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> CompartmentManager {
+        let mut cm = CompartmentManager::new();
+        cm.register_compartment(XomId(1), [1u8; 16]);
+        cm.register_compartment(XomId(2), [2u8; 16]);
+        cm
+    }
+
+    #[test]
+    fn registers_are_tagged_per_compartment() {
+        let mut cm = manager();
+        cm.enter(XomId(1)).unwrap();
+        cm.write_reg(5, 1234);
+        assert_eq!(cm.read_reg(5).unwrap(), 1234);
+        cm.enter(XomId(2)).unwrap();
+        let err = cm.read_reg(5).unwrap_err();
+        assert_eq!(
+            err,
+            CompartmentError::RegisterViolation {
+                reg: 5,
+                owner: XomId(1),
+                reader: XomId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn untagged_registers_are_shared() {
+        let cm = manager();
+        assert_eq!(cm.read_reg(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_compartment_cannot_be_entered() {
+        let mut cm = manager();
+        assert_eq!(
+            cm.enter(XomId(9)).unwrap_err(),
+            CompartmentError::UnknownCompartment(XomId(9))
+        );
+    }
+
+    #[test]
+    fn interrupt_scrubs_registers_and_switches_to_os() {
+        let mut cm = manager();
+        cm.enter(XomId(1)).unwrap();
+        cm.write_reg(3, 777);
+        let frame = cm.interrupt().unwrap();
+        assert_eq!(cm.active(), XomId::NULL);
+        assert_eq!(cm.read_reg(3).unwrap(), 0, "registers scrubbed");
+        assert_eq!(frame.owner(), XomId(1));
+        // The OS sees only ciphertext; 777 is not legible in the frame.
+        assert!(!frame
+            .ciphertext
+            .windows(8)
+            .any(|w| w == 777u64.to_le_bytes()));
+    }
+
+    #[test]
+    fn resume_restores_register_values() {
+        let mut cm = manager();
+        cm.enter(XomId(1)).unwrap();
+        cm.write_reg(3, 777);
+        cm.write_reg(7, u64::MAX);
+        let frame = cm.interrupt().unwrap();
+        cm.resume(&frame).unwrap();
+        assert_eq!(cm.active(), XomId(1));
+        assert_eq!(cm.read_reg(3).unwrap(), 777);
+        assert_eq!(cm.read_reg(7).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn tampered_frame_is_rejected() {
+        let mut cm = manager();
+        cm.enter(XomId(1)).unwrap();
+        cm.write_reg(0, 1);
+        let mut frame = cm.interrupt().unwrap();
+        frame.attack_tamper(4);
+        assert_eq!(cm.resume(&frame).unwrap_err(), CompartmentError::FrameRejected);
+    }
+
+    #[test]
+    fn replayed_frame_is_rejected() {
+        let mut cm = manager();
+        cm.enter(XomId(1)).unwrap();
+        cm.write_reg(0, 10);
+        let stale = cm.interrupt().unwrap();
+        cm.resume(&stale).unwrap();
+        // Second interrupt produces a fresh frame; replaying the stale
+        // one must fail.
+        let fresh = cm.interrupt().unwrap();
+        let err = cm.resume(&stale).unwrap_err();
+        assert!(matches!(err, CompartmentError::FrameReplayed { .. }));
+        cm.resume(&fresh).unwrap();
+        assert_eq!(cm.read_reg(0).unwrap(), 10);
+    }
+
+    #[test]
+    fn two_interrupts_produce_different_ciphertexts_for_same_registers() {
+        // The "mutating value" property: identical register contents
+        // encrypt differently on each interrupt.
+        let mut cm = manager();
+        cm.enter(XomId(1)).unwrap();
+        cm.write_reg(0, 42);
+        let f1 = cm.interrupt().unwrap();
+        cm.resume(&f1).unwrap();
+        let f2 = cm.interrupt().unwrap();
+        assert_ne!(f1.ciphertext, f2.ciphertext);
+        assert_ne!(f1.counter(), f2.counter());
+    }
+
+    #[test]
+    fn interrupt_from_null_compartment_fails() {
+        let mut cm = manager();
+        assert!(matches!(
+            cm.interrupt().unwrap_err(),
+            CompartmentError::UnknownCompartment(XomId::NULL)
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! Configuration types for the secure memory controller.
+
+use padlock_crypto::CryptoUnitModel;
+use std::fmt;
+
+/// How the SNC is organised on chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SncOrganization {
+    /// Fully associative (the paper's default; §4 argues conflict misses
+    /// should be minimised).
+    FullyAssociative,
+    /// Set-associative with the given number of ways (Fig. 7 uses 32).
+    SetAssociative(u32),
+}
+
+impl fmt::Display for SncOrganization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SncOrganization::FullyAssociative => write!(f, "fully-assoc"),
+            SncOrganization::SetAssociative(w) => write!(f, "{w}-way"),
+        }
+    }
+}
+
+/// How the SNC handles capacity pressure (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SncPolicy {
+    /// Once full, later lines are encrypted directly (XOM-style) and never
+    /// gain sequence numbers.
+    NoReplacement,
+    /// LRU replacement; evicted sequence numbers are encrypted and spilled
+    /// to memory, and query misses fetch them back (Algorithm 1).
+    Lru,
+}
+
+impl fmt::Display for SncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SncPolicy::NoReplacement => write!(f, "no-repl"),
+            SncPolicy::Lru => write!(f, "LRU"),
+        }
+    }
+}
+
+/// Sequence Number Cache configuration.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_core::SncConfig;
+///
+/// let snc = SncConfig::paper_default();
+/// assert_eq!(snc.entries(), 32 * 1024); // 64KB / 2B, covering 4MB
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SncConfig {
+    /// Total SNC capacity in bytes (paper sweeps 32/64/128KB).
+    pub capacity_bytes: usize,
+    /// Bytes per sequence number (paper: 2).
+    pub entry_bytes: usize,
+    /// Organisation (fully associative or N-way).
+    pub organization: SncOrganization,
+    /// Management policy.
+    pub policy: SncPolicy,
+    /// The L2 line size each entry covers (paper: 128).
+    pub covered_line_bytes: usize,
+}
+
+impl SncConfig {
+    /// The paper's default: 64KB, 2-byte entries, fully associative, LRU.
+    pub fn paper_default() -> Self {
+        Self {
+            capacity_bytes: 64 * 1024,
+            entry_bytes: 2,
+            organization: SncOrganization::FullyAssociative,
+            policy: SncPolicy::Lru,
+            covered_line_bytes: 128,
+        }
+    }
+
+    /// Number of sequence-number entries.
+    pub fn entries(&self) -> usize {
+        self.capacity_bytes / self.entry_bytes
+    }
+
+    /// Bytes of memory covered by a full SNC.
+    pub fn coverage_bytes(&self) -> usize {
+        self.entries() * self.covered_line_bytes
+    }
+
+    /// Builder: set capacity.
+    pub fn with_capacity(mut self, bytes: usize) -> Self {
+        self.capacity_bytes = bytes;
+        self
+    }
+
+    /// Builder: set organisation.
+    pub fn with_organization(mut self, org: SncOrganization) -> Self {
+        self.organization = org;
+        self
+    }
+
+    /// Builder: set policy.
+    pub fn with_policy(mut self, policy: SncPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl Default for SncConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// How seeds are derived from (virtual address, sequence number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SeedScheme {
+    /// The paper's arithmetic: `seed = VA + seq` (§3.4.2, equations 4–7).
+    /// Neighbouring lines can collide with high sequence numbers; kept as
+    /// the default for fidelity.
+    #[default]
+    PaperAdditive,
+    /// `seed = VA | (seq << 48)`: address and sequence number occupy
+    /// disjoint bit fields, removing cross-line pad collisions.
+    Structured,
+}
+
+impl SeedScheme {
+    /// Computes the 64-bit base seed for a line.
+    pub fn seed(self, line_va: u64, seq: u16) -> u64 {
+        match self {
+            SeedScheme::PaperAdditive => line_va.wrapping_add(u64::from(seq)),
+            SeedScheme::Structured => (line_va & 0x0000_FFFF_FFFF_FFFF) | (u64::from(seq) << 48),
+        }
+    }
+}
+
+/// Which machine the backend models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecurityMode {
+    /// No cryptography: the baseline processor.
+    Insecure,
+    /// XOM: encryption/decryption in series with every off-chip transfer.
+    Xom,
+    /// One-time-pad encryption with a Sequence Number Cache.
+    Otp {
+        /// SNC configuration.
+        snc: SncConfig,
+    },
+}
+
+impl SecurityMode {
+    /// Convenience: OTP with the paper's default 64KB fully associative
+    /// LRU SNC.
+    pub fn otp_lru_64k() -> Self {
+        SecurityMode::Otp {
+            snc: SncConfig::paper_default(),
+        }
+    }
+
+    /// Convenience: OTP with a no-replacement SNC of the default size.
+    pub fn otp_norepl_64k() -> Self {
+        SecurityMode::Otp {
+            snc: SncConfig::paper_default().with_policy(SncPolicy::NoReplacement),
+        }
+    }
+}
+
+impl fmt::Display for SecurityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityMode::Insecure => write!(f, "baseline"),
+            SecurityMode::Xom => write!(f, "XOM"),
+            SecurityMode::Otp { snc } => write!(
+                f,
+                "SNC-{} {}KB {}",
+                snc.policy,
+                snc.capacity_bytes / 1024,
+                snc.organization
+            ),
+        }
+    }
+}
+
+/// Full configuration of the [`crate::SecureBackend`].
+#[derive(Debug, Clone)]
+pub struct SecureBackendConfig {
+    /// Which machine to model.
+    pub mode: SecurityMode,
+    /// The crypto unit latency model (50-cycle default; Fig. 10 uses 102).
+    pub crypto: CryptoUnitModel,
+    /// L2 line size in bytes.
+    pub line_bytes: u32,
+    /// DRAM access latency (paper: 100).
+    pub mem_latency: u64,
+    /// Channel occupancy per transaction.
+    pub mem_occupancy: u64,
+    /// Write-buffer entries.
+    pub write_buffer_entries: usize,
+    /// Whether reads of lines never written back bypass the SNC
+    /// (sequence number is known to be zero). See DESIGN.md §3.
+    pub clean_lines_bypass: bool,
+    /// Seed derivation scheme (timing-neutral; recorded for the
+    /// functional layer and reports).
+    pub seed_scheme: SeedScheme,
+}
+
+impl SecureBackendConfig {
+    /// The paper's machine parameters for the given mode.
+    pub fn paper(mode: SecurityMode) -> Self {
+        Self {
+            mode,
+            crypto: CryptoUnitModel::paper_default(),
+            line_bytes: 128,
+            mem_latency: 100,
+            mem_occupancy: 8,
+            write_buffer_entries: 8,
+            clean_lines_bypass: true,
+            seed_scheme: SeedScheme::PaperAdditive,
+        }
+    }
+
+    /// Builder: use the 102-cycle crypto unit of Fig. 10.
+    pub fn with_slow_crypto(mut self) -> Self {
+        self.crypto = CryptoUnitModel::paper_slow();
+        self
+    }
+
+    /// Builder: set an arbitrary crypto model.
+    pub fn with_crypto(mut self, crypto: CryptoUnitModel) -> Self {
+        self.crypto = crypto;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_snc_covers_4mb() {
+        let snc = SncConfig::paper_default();
+        assert_eq!(snc.entries(), 32768);
+        assert_eq!(snc.coverage_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn snc_builders_compose() {
+        let snc = SncConfig::paper_default()
+            .with_capacity(32 * 1024)
+            .with_organization(SncOrganization::SetAssociative(32))
+            .with_policy(SncPolicy::NoReplacement);
+        assert_eq!(snc.entries(), 16384);
+        assert_eq!(snc.organization, SncOrganization::SetAssociative(32));
+        assert_eq!(snc.policy, SncPolicy::NoReplacement);
+    }
+
+    #[test]
+    fn additive_seed_matches_paper_equations() {
+        // seed = VA + seq (equation 5/7 semantics).
+        assert_eq!(SeedScheme::PaperAdditive.seed(0x4000, 3), 0x4003);
+    }
+
+    #[test]
+    fn additive_seed_collision_exists_structured_avoids_it() {
+        // Line A at VA 0x1000 with seq 0x80 collides with line B at
+        // VA 0x1080 with seq 0 under the paper scheme...
+        let a = SeedScheme::PaperAdditive.seed(0x1000, 0x80);
+        let b = SeedScheme::PaperAdditive.seed(0x1080, 0);
+        assert_eq!(a, b);
+        // ...but not under the structured scheme.
+        let a = SeedScheme::Structured.seed(0x1000, 0x80);
+        let b = SeedScheme::Structured.seed(0x1080, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mode_display_labels() {
+        assert_eq!(SecurityMode::Insecure.to_string(), "baseline");
+        assert_eq!(SecurityMode::Xom.to_string(), "XOM");
+        assert_eq!(
+            SecurityMode::otp_lru_64k().to_string(),
+            "SNC-LRU 64KB fully-assoc"
+        );
+        assert_eq!(
+            SecurityMode::otp_norepl_64k().to_string(),
+            "SNC-no-repl 64KB fully-assoc"
+        );
+    }
+
+    #[test]
+    fn backend_config_builders() {
+        let cfg = SecureBackendConfig::paper(SecurityMode::Xom).with_slow_crypto();
+        assert_eq!(cfg.crypto.pipeline_latency(), 102);
+        assert_eq!(cfg.mem_latency, 100);
+        assert!(cfg.clean_lines_bypass);
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's contribution: one-time-pad (counter-mode) memory
+//! encryption with a Sequence Number Cache, plus the XOM baseline it is
+//! measured against.
+//!
+//! # What this crate provides
+//!
+//! **Timing layer** (drives every figure in the paper):
+//!
+//! * [`SecureBackend`] — a [`padlock_cpu::MemoryBackend`] implementing the
+//!   three machines of the paper: the insecure baseline, XOM
+//!   (decrypt-in-series, Fig. 2), and one-time-pad with an SNC (Fig. 4);
+//! * [`SequenceNumberCache`] — the on-chip SNC in both organisations
+//!   (fully associative / set-associative) and both management policies
+//!   (no-replacement / LRU);
+//! * [`Machine`] — a configured core + hierarchy + backend, with a
+//!   warm-up-then-measure runner.
+//!
+//! **Functional layer** (real ciphertext; powers the tiny-ISA VM, the
+//! examples, and the attack tests):
+//!
+//! * [`SecureMemory`] — encrypted memory with per-region protection,
+//!   per-line sequence numbers, MAC integrity, and attack entry points;
+//! * [`vendor`] — software packaging (symmetric encryption + RSA key
+//!   wrapping) and the secure loader;
+//! * [`compartment`] — XOM IDs, tagged register files, and the
+//!   interrupt-time register encryption of the paper's §2.3/§4.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock_core::{Machine, MachineConfig, SecurityMode};
+//! use padlock_cpu::StrideWorkload;
+//!
+//! // Compare XOM and OTP on a small streaming workload.
+//! let mut xom = Machine::new(MachineConfig::paper(SecurityMode::Xom));
+//! let mut otp = Machine::new(MachineConfig::paper(SecurityMode::otp_lru_64k()));
+//! let x = xom.run(&mut StrideWorkload::new(8 << 20, 128, 0.3), 2_000, 8_000);
+//! let o = otp.run(&mut StrideWorkload::new(8 << 20, 128, 0.3), 2_000, 8_000);
+//! assert!(o.stats.cycles <= x.stats.cycles);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compartment;
+mod config;
+mod controller;
+mod machine;
+mod secure_mem;
+mod snc;
+pub mod vendor;
+
+pub use config::{SecureBackendConfig, SecurityMode, SeedScheme, SncConfig, SncOrganization, SncPolicy};
+pub use controller::SecureBackend;
+pub use machine::{Machine, MachineConfig, Measurement};
+pub use secure_mem::{
+    AttackOutcome, IntegrityMode, LineProtection, LineSnapshot, MapRegionError, SecureMemory,
+    SecureMemoryError,
+};
+pub use snc::{SequenceNumberCache, SncLookup};

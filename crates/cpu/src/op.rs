@@ -1,0 +1,288 @@
+//! Dynamic micro-operations and the workload interface.
+
+use std::fmt;
+
+/// The execution class of a [`MicroOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (3 cycles).
+    IntMul,
+    /// Floating-point add/sub/compare (2 cycles).
+    FpAlu,
+    /// Floating-point multiply/divide (4 cycles).
+    FpMul,
+    /// A load from the data address.
+    Load(u64),
+    /// A store to the data address.
+    Store(u64),
+    /// A conditional branch with its actual direction.
+    Branch {
+        /// The architecturally taken direction (ground truth the
+        /// predictor is scored against).
+        taken: bool,
+    },
+}
+
+impl OpClass {
+    /// Fixed execution latency in cycles for non-memory classes
+    /// (memory classes resolve through the cache hierarchy).
+    pub fn fixed_latency(self) -> Option<u64> {
+        match self {
+            OpClass::IntAlu => Some(1),
+            OpClass::IntMul => Some(3),
+            OpClass::FpAlu => Some(2),
+            OpClass::FpMul => Some(4),
+            OpClass::Branch { .. } => Some(1),
+            OpClass::Load(_) | OpClass::Store(_) => None,
+        }
+    }
+
+    /// Whether this op accesses data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load(_) | OpClass::Store(_))
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::IntAlu => write!(f, "int"),
+            OpClass::IntMul => write!(f, "imul"),
+            OpClass::FpAlu => write!(f, "fadd"),
+            OpClass::FpMul => write!(f, "fmul"),
+            OpClass::Load(a) => write!(f, "load @{a:#x}"),
+            OpClass::Store(a) => write!(f, "store @{a:#x}"),
+            OpClass::Branch { taken } => write!(f, "branch ({})", if *taken { "T" } else { "N" }),
+        }
+    }
+}
+
+/// One dynamic micro-operation.
+///
+/// Register dependences are expressed as *distances*: `dep1 = 3` means
+/// this op consumes the result of the op three positions earlier in the
+/// dynamic stream (0 = no dependence). This is how trace-driven OoO
+/// models encode dataflow without architectural registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Program counter (drives the I-cache and branch predictor).
+    pub pc: u64,
+    /// Execution class, with the data address embedded for memory ops.
+    pub class: OpClass,
+    /// First input dependence distance (0 = none).
+    pub dep1: u16,
+    /// Second input dependence distance (0 = none).
+    pub dep2: u16,
+}
+
+impl MicroOp {
+    /// Convenience constructor for a dependence-free op.
+    pub fn new(pc: u64, class: OpClass) -> Self {
+        Self {
+            pc,
+            class,
+            dep1: 0,
+            dep2: 0,
+        }
+    }
+
+    /// Sets dependence distances (builder style).
+    pub fn with_deps(mut self, dep1: u16, dep2: u16) -> Self {
+        self.dep1 = dep1;
+        self.dep2 = dep2;
+        self
+    }
+}
+
+/// A generator of the dynamic instruction stream.
+///
+/// Implementations are infinite: the simulator decides how many ops to
+/// consume (warm-up plus measured window, like the paper's fast-forward
+/// plus measurement runs).
+pub trait Workload {
+    /// Produces the next dynamic op.
+    fn next_op(&mut self) -> MicroOp;
+
+    /// A short display name (used as the row label in figures).
+    fn name(&self) -> &str;
+}
+
+impl<W: Workload + ?Sized> Workload for &mut W {
+    fn next_op(&mut self) -> MicroOp {
+        (**self).next_op()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn next_op(&mut self) -> MicroOp {
+        (**self).next_op()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A minimal built-in workload: strided loads/stores over a working set,
+/// with ALU filler.
+///
+/// `padlock-workloads` builds the calibrated SPEC2000-like generators;
+/// this one exists so `padlock-cpu` is testable and usable stand-alone.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_cpu::{StrideWorkload, Workload};
+///
+/// let mut w = StrideWorkload::new(64 * 1024, 64, 0.25);
+/// let op = w.next_op();
+/// assert_eq!(w.name(), "stride");
+/// let _ = op.pc;
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrideWorkload {
+    working_set: u64,
+    stride: u64,
+    mem_fraction: f64,
+    cursor: u64,
+    pc: u64,
+    count: u64,
+}
+
+impl StrideWorkload {
+    /// Creates a stream sweeping `working_set` bytes with the given stride;
+    /// `mem_fraction` of ops are memory operations (1 store per 4 loads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or `mem_fraction` is outside `[0, 1]`.
+    pub fn new(working_set: u64, stride: u64, mem_fraction: f64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            (0.0..=1.0).contains(&mem_fraction),
+            "mem_fraction must be in [0, 1]"
+        );
+        Self {
+            working_set: working_set.max(stride),
+            stride,
+            mem_fraction,
+            cursor: 0,
+            pc: 0x1000,
+            count: 0,
+        }
+    }
+}
+
+impl Workload for StrideWorkload {
+    fn next_op(&mut self) -> MicroOp {
+        self.count += 1;
+        self.pc = 0x1000 + (self.count % 256) * 4; // small code footprint
+        let period = if self.mem_fraction > 0.0 {
+            (1.0 / self.mem_fraction).round() as u64
+        } else {
+            u64::MAX
+        };
+        let class = if self.count % period == 0 {
+            self.cursor = (self.cursor + self.stride) % self.working_set;
+            let addr = 0x10_0000 + self.cursor;
+            if self.count % (5 * period) == 0 {
+                OpClass::Store(addr)
+            } else {
+                OpClass::Load(addr)
+            }
+        } else if self.count % 16 == 7 {
+            OpClass::Branch {
+                taken: self.count % 32 == 7,
+            }
+        } else {
+            OpClass::IntAlu
+        };
+        MicroOp::new(self.pc, class).with_deps(1, 0)
+    }
+
+    fn name(&self) -> &str {
+        "stride"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latencies() {
+        assert_eq!(OpClass::IntAlu.fixed_latency(), Some(1));
+        assert_eq!(OpClass::IntMul.fixed_latency(), Some(3));
+        assert_eq!(OpClass::FpAlu.fixed_latency(), Some(2));
+        assert_eq!(OpClass::FpMul.fixed_latency(), Some(4));
+        assert_eq!(OpClass::Branch { taken: true }.fixed_latency(), Some(1));
+        assert_eq!(OpClass::Load(0).fixed_latency(), None);
+        assert_eq!(OpClass::Store(0).fixed_latency(), None);
+    }
+
+    #[test]
+    fn is_mem_classifies() {
+        assert!(OpClass::Load(4).is_mem());
+        assert!(OpClass::Store(4).is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(!OpClass::Branch { taken: false }.is_mem());
+    }
+
+    #[test]
+    fn builder_sets_deps() {
+        let op = MicroOp::new(0x40, OpClass::IntAlu).with_deps(2, 5);
+        assert_eq!(op.dep1, 2);
+        assert_eq!(op.dep2, 5);
+    }
+
+    #[test]
+    fn stride_workload_wraps_working_set() {
+        let mut w = StrideWorkload::new(256, 64, 1.0);
+        let mut addrs = Vec::new();
+        for _ in 0..8 {
+            if let OpClass::Load(a) | OpClass::Store(a) = w.next_op().class {
+                addrs.push(a - 0x10_0000);
+            }
+        }
+        assert!(addrs.iter().all(|&a| a < 256));
+        assert_eq!(addrs[0], 64);
+    }
+
+    #[test]
+    fn stride_workload_mixes_classes() {
+        let mut w = StrideWorkload::new(1 << 20, 64, 0.25);
+        let mut loads = 0;
+        let mut stores = 0;
+        let mut alus = 0;
+        let mut branches = 0;
+        for _ in 0..4000 {
+            match w.next_op().class {
+                OpClass::Load(_) => loads += 1,
+                OpClass::Store(_) => stores += 1,
+                OpClass::Branch { .. } => branches += 1,
+                _ => alus += 1,
+            }
+        }
+        assert!(loads > 0 && stores > 0 && alus > 0 && branches > 0);
+        let memfrac = f64::from(loads + stores) / 4000.0;
+        assert!((0.2..0.3).contains(&memfrac), "mem fraction {memfrac}");
+    }
+
+    #[test]
+    fn zero_mem_fraction_generates_no_memory_ops() {
+        let mut w = StrideWorkload::new(1024, 64, 0.0);
+        for _ in 0..100 {
+            assert!(!w.next_op().class.is_mem());
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OpClass::Load(0x40).to_string(), "load @0x40");
+        assert_eq!(OpClass::Branch { taken: true }.to_string(), "branch (T)");
+    }
+}

@@ -1,0 +1,566 @@
+//! The out-of-order execution engine: fetch/dispatch, issue, complete,
+//! commit over a reorder buffer, with event-skipping for speed.
+
+use crate::bpred::{BimodalPredictor, BranchPredictor};
+use crate::hierarchy::{Hierarchy, MemoryBackend};
+use crate::op::{OpClass, Workload};
+use std::collections::VecDeque;
+
+/// Pipeline widths and structure sizes.
+///
+/// Defaults follow SimpleScalar `sim-outorder`'s defaults, which the
+/// paper states it used apart from the cache/memory parameters: 4-wide
+/// fetch/issue/commit, a 16-entry register update unit (our ROB), two
+/// memory ports, bimodal 2K predictor.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Ops fetched/dispatched per cycle.
+    pub fetch_width: u32,
+    /// Ops issued to execution per cycle.
+    pub issue_width: u32,
+    /// Ops committed per cycle.
+    pub commit_width: u32,
+    /// Reorder-buffer entries (SimpleScalar's RUU).
+    pub rob_size: usize,
+    /// Memory operations issued per cycle (load/store ports).
+    pub mem_ports: u32,
+    /// Extra front-end cycles after a mispredicted branch resolves.
+    pub mispredict_penalty: u64,
+    /// Entries in the bimodal predictor.
+    pub bpred_entries: usize,
+}
+
+impl PipelineConfig {
+    /// The paper's processor: 4-issue out-of-order with SimpleScalar
+    /// defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_size: 16,
+            mem_ports: 2,
+            mispredict_penalty: 3,
+            bpred_entries: 2048,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Results of one simulated window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Ops committed in the window.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+}
+
+impl RunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+const NO_DEP: u64 = u64::MAX;
+const NOT_ISSUED: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+enum SlotKind {
+    Fixed(u64),
+    Load(u64),
+    Store(u64),
+    /// A mispredicted branch; resolving it un-blocks the front end.
+    BranchRedirect,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    kind: SlotKind,
+    /// Absolute sequence numbers of producers (NO_DEP when independent or
+    /// already retired at dispatch).
+    dep1: u64,
+    dep2: u64,
+    issued: bool,
+    complete_at: u64,
+}
+
+/// The out-of-order core: a [`Hierarchy`] plus the execution engine.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_cpu::{Core, InsecureBackend, PipelineConfig, StrideWorkload};
+///
+/// let mut core = Core::new(PipelineConfig::paper_default(),
+///                          InsecureBackend::new(100, 8));
+/// let stats = core.run(&mut StrideWorkload::new(4096, 64, 0.1), 5_000);
+/// assert!(stats.ipc() > 0.5);
+/// ```
+#[derive(Debug)]
+pub struct Core<B> {
+    config: PipelineConfig,
+    hierarchy: Hierarchy<B>,
+    bpred: BimodalPredictor,
+    now: u64,
+}
+
+impl<B: MemoryBackend> Core<B> {
+    /// Creates a core with the paper's cache hierarchy over `backend`.
+    pub fn new(config: PipelineConfig, backend: B) -> Self {
+        Self::with_hierarchy(
+            config,
+            Hierarchy::new(crate::hierarchy::HierarchyConfig::paper_default(), backend),
+        )
+    }
+
+    /// Creates a core over an explicit hierarchy (custom cache geometry).
+    pub fn with_hierarchy(config: PipelineConfig, hierarchy: Hierarchy<B>) -> Self {
+        let bpred = BimodalPredictor::new(config.bpred_entries);
+        Self {
+            config,
+            hierarchy,
+            bpred,
+            now: 0,
+        }
+    }
+
+    /// The cache hierarchy (stats access).
+    pub fn hierarchy(&self) -> &Hierarchy<B> {
+        &self.hierarchy
+    }
+
+    /// Mutable hierarchy access (backend control).
+    pub fn hierarchy_mut(&mut self) -> &mut Hierarchy<B> {
+        &mut self.hierarchy
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Resets hierarchy/backend statistics; used between the warm-up and
+    /// measured windows (the paper fast-forwards 10B instructions before
+    /// measuring).
+    pub fn reset_stats(&mut self) {
+        self.hierarchy.reset_stats();
+    }
+
+    /// Runs until `n_ops` ops have committed; returns window statistics.
+    ///
+    /// Successive calls continue from the current microarchitectural
+    /// state (warm caches, trained predictor), so the idiomatic pattern
+    /// is one warm-up call followed by `reset_stats` and a measured call.
+    pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W, n_ops: u64) -> RunStats {
+        let mut stats = RunStats::default();
+        let start_cycle = self.now;
+
+        let rob_size = self.config.rob_size;
+        let mut rob: VecDeque<Slot> = VecDeque::with_capacity(rob_size);
+        let mut base: u64 = 0; // sequence number of rob.front()
+        let mut dispatched: u64 = 0;
+        let mut committed: u64 = 0;
+
+        // Front-end state.
+        let mut fetch_ready_at: u64 = 0; // I-miss stall
+        let mut redirect_pending = false; // mispredict: blocked until resolve
+        let mut fetch_resume_at: u64 = 0;
+        let mut pending_op: Option<crate::op::MicroOp> = None;
+        let mut last_fetch_line: u64 = u64::MAX;
+        let l1i_line = self.hierarchy.config().l1i.line_bytes() as u64;
+
+        while committed < n_ops {
+            let now = self.now;
+            let mut progress = false;
+
+            // ---- Commit ----
+            let mut commits = 0;
+            while commits < self.config.commit_width {
+                match rob.front() {
+                    Some(slot) if slot.issued && slot.complete_at <= now => {
+                        rob.pop_front();
+                        base += 1;
+                        committed += 1;
+                        commits += 1;
+                        progress = true;
+                        if committed >= n_ops {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if committed >= n_ops {
+                break;
+            }
+
+            // ---- Issue (oldest first) ----
+            let mut issues = 0;
+            let mut mem_issues = 0;
+            for i in 0..rob.len() {
+                if issues >= self.config.issue_width {
+                    break;
+                }
+                let slot = rob[i];
+                if slot.issued {
+                    continue;
+                }
+                // Dependences resolved?
+                let dep_done = |dep: u64, rob: &VecDeque<Slot>| -> bool {
+                    if dep == NO_DEP || dep < base {
+                        return true;
+                    }
+                    let idx = (dep - base) as usize;
+                    let d = &rob[idx];
+                    d.issued && d.complete_at <= now
+                };
+                if !dep_done(slot.dep1, &rob) || !dep_done(slot.dep2, &rob) {
+                    continue;
+                }
+                let is_mem = matches!(slot.kind, SlotKind::Load(_) | SlotKind::Store(_));
+                if is_mem && mem_issues >= self.config.mem_ports {
+                    continue;
+                }
+                let complete_at = match slot.kind {
+                    SlotKind::Fixed(lat) => now + lat,
+                    SlotKind::Load(addr) => self.hierarchy.data_access(now, addr, false),
+                    SlotKind::Store(addr) => {
+                        // The store retires via the store buffer; the line
+                        // fill proceeds in the background.
+                        self.hierarchy.data_access(now, addr, true);
+                        now + 1
+                    }
+                    SlotKind::BranchRedirect => {
+                        let done = now + 1;
+                        redirect_pending = false;
+                        fetch_resume_at = done + self.config.mispredict_penalty;
+                        done
+                    }
+                };
+                let s = &mut rob[i];
+                s.issued = true;
+                s.complete_at = complete_at;
+                issues += 1;
+                if is_mem {
+                    mem_issues += 1;
+                }
+                progress = true;
+            }
+
+            // ---- Fetch / dispatch ----
+            let mut fetched = 0;
+            while fetched < self.config.fetch_width
+                && rob.len() < rob_size
+                && !redirect_pending
+                && now >= fetch_resume_at
+                && now >= fetch_ready_at
+                && dispatched < n_ops + rob_size as u64
+            {
+                let op = match pending_op.take() {
+                    Some(op) => op,
+                    None => workload.next_op(),
+                };
+                // I-cache: a new line triggers a fetch access.
+                let line = op.pc / l1i_line;
+                if line != last_fetch_line {
+                    let avail = self.hierarchy.inst_fetch(now, op.pc);
+                    last_fetch_line = line;
+                    if avail > now + self.hierarchy.config().l1_latency {
+                        // I-miss: hold the op until the line arrives.
+                        fetch_ready_at = avail;
+                        pending_op = Some(op);
+                        break;
+                    }
+                }
+
+                let seq = dispatched;
+                let to_abs = |dist: u16| -> u64 {
+                    if dist == 0 || u64::from(dist) > seq {
+                        NO_DEP
+                    } else {
+                        seq - u64::from(dist)
+                    }
+                };
+                let mut kind = match op.class {
+                    OpClass::Load(a) => SlotKind::Load(a),
+                    OpClass::Store(a) => SlotKind::Store(a),
+                    OpClass::Branch { taken } => {
+                        stats.branches += 1;
+                        let predicted = self.bpred.predict(op.pc);
+                        self.bpred.update(op.pc, taken);
+                        if predicted != taken {
+                            stats.mispredicts += 1;
+                            SlotKind::BranchRedirect
+                        } else {
+                            SlotKind::Fixed(1)
+                        }
+                    }
+                    other => SlotKind::Fixed(other.fixed_latency().expect("non-mem fixed")),
+                };
+                match op.class {
+                    OpClass::Load(_) => stats.loads += 1,
+                    OpClass::Store(_) => stats.stores += 1,
+                    _ => {}
+                }
+                let is_redirect = matches!(kind, SlotKind::BranchRedirect);
+                if is_redirect {
+                    redirect_pending = true;
+                    // Fetch stops after this branch until it resolves.
+                } else if let SlotKind::BranchRedirect = kind {
+                    kind = SlotKind::Fixed(1);
+                }
+                rob.push_back(Slot {
+                    kind,
+                    dep1: to_abs(op.dep1),
+                    dep2: to_abs(op.dep2),
+                    issued: false,
+                    complete_at: NOT_ISSUED,
+                });
+                dispatched += 1;
+                fetched += 1;
+                progress = true;
+                if is_redirect {
+                    break;
+                }
+            }
+
+            // ---- Advance time ----
+            if progress {
+                self.now += 1;
+            } else {
+                // Nothing happened: skip to the next event.
+                let mut next = u64::MAX;
+                for s in &rob {
+                    if s.issued && s.complete_at > now {
+                        next = next.min(s.complete_at);
+                    }
+                }
+                if fetch_ready_at > now {
+                    next = next.min(fetch_ready_at);
+                }
+                if fetch_resume_at > now && !redirect_pending {
+                    next = next.min(fetch_resume_at);
+                }
+                debug_assert!(
+                    next != u64::MAX,
+                    "stalled with no future event: rob={rob:?}"
+                );
+                self.now = if next == u64::MAX { now + 1 } else { next };
+            }
+        }
+
+        stats.instructions = committed;
+        stats.cycles = self.now - start_cycle;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::InsecureBackend;
+    use crate::op::{MicroOp, StrideWorkload};
+
+    /// A scripted workload for microbenchmark-style pipeline tests.
+    struct Script {
+        ops: Vec<MicroOp>,
+        idx: usize,
+    }
+
+    impl Script {
+        fn repeat(op: MicroOp) -> Self {
+            Self {
+                ops: vec![op],
+                idx: 0,
+            }
+        }
+
+        fn cycle(ops: Vec<MicroOp>) -> Self {
+            Self { ops, idx: 0 }
+        }
+    }
+
+    impl Workload for Script {
+        fn next_op(&mut self) -> MicroOp {
+            let op = self.ops[self.idx % self.ops.len()];
+            self.idx += 1;
+            op
+        }
+        fn name(&self) -> &str {
+            "script"
+        }
+    }
+
+    fn core() -> Core<InsecureBackend> {
+        Core::new(PipelineConfig::paper_default(), InsecureBackend::new(100, 0))
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_full_width() {
+        let mut c = core();
+        let stats = c.run(
+            &mut Script::repeat(MicroOp::new(0x1000, OpClass::IntAlu)),
+            40_000,
+        );
+        // 4-wide with 16-entry ROB: IPC close to 4.
+        assert!(stats.ipc() > 3.0, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn serial_dependence_chain_limits_ipc_to_one() {
+        let mut c = core();
+        let op = MicroOp::new(0x1000, OpClass::IntAlu).with_deps(1, 0);
+        let stats = c.run(&mut Script::repeat(op), 20_000);
+        assert!(stats.ipc() <= 1.05, "ipc {}", stats.ipc());
+        assert!(stats.ipc() > 0.9, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn imul_chain_runs_at_one_third_ipc() {
+        let mut c = core();
+        let op = MicroOp::new(0x1000, OpClass::IntMul).with_deps(1, 0);
+        let stats = c.run(&mut Script::repeat(op), 9_000);
+        let cpi = stats.cpi();
+        assert!((2.8..3.3).contains(&cpi), "cpi {cpi}");
+    }
+
+    #[test]
+    fn l1_resident_loads_are_fast() {
+        let mut c = core();
+        // 16 addresses in one 4KB page: fits L1D easily.
+        let ops: Vec<MicroOp> = (0..16)
+            .map(|i| MicroOp::new(0x1000, OpClass::Load(0x8000 + i * 32)))
+            .collect();
+        let mut w = Script::cycle(ops);
+        c.run(&mut w, 1_000); // warm
+        let stats = c.run(&mut w, 10_000);
+        assert!(stats.ipc() > 1.8, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn memory_bound_pointer_chase_exposes_dram_latency() {
+        let mut c = core();
+        // Serial dependent loads over a huge working set: every load is
+        // an L2 miss costing ~107 cycles, fully serialised.
+        let mut w = StrideWorkload::new(64 << 20, 128, 1.0);
+        // Make it serial: StrideWorkload already sets dep1 = 1.
+        c.run(&mut w, 2_000);
+        c.reset_stats();
+        let stats = c.run(&mut w, 4_000);
+        let cpi = stats.cpi();
+        assert!(cpi > 80.0, "cpi {cpi} should be memory dominated");
+    }
+
+    #[test]
+    fn rob_caps_memory_level_parallelism() {
+        // Independent loads: with ROB 16 some misses overlap, so CPI is
+        // well under the serial 107 but far above 1.
+        let mut c = core();
+        struct WideLoads {
+            i: u64,
+        }
+        impl Workload for WideLoads {
+            fn next_op(&mut self) -> MicroOp {
+                self.i += 1;
+                MicroOp::new(0x1000, OpClass::Load(self.i * 128 % (256 << 20)))
+            }
+            fn name(&self) -> &str {
+                "wide"
+            }
+        }
+        let stats = c.run(&mut WideLoads { i: 0 }, 4_000);
+        let cpi = stats.cpi();
+        // Theoretical MLP limit: ~107-cycle misses / 16-entry ROB ≈ 6.7.
+        assert!(cpi < 20.0, "cpi {cpi}: ROB-wide MLP expected");
+        assert!(cpi > 4.0, "cpi {cpi}: misses must still dominate");
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_redirect_cycles() {
+        let mut well_predicted = core();
+        let mut poorly_predicted = core();
+        // Alternating taken/not-taken at one PC defeats bimodal.
+        struct Alt {
+            i: u64,
+            every: u64,
+        }
+        impl Workload for Alt {
+            fn next_op(&mut self) -> MicroOp {
+                self.i += 1;
+                if self.i % 4 == 0 {
+                    MicroOp::new(0x2000, OpClass::Branch {
+                        taken: (self.i / 4) % self.every == 0,
+                    })
+                } else {
+                    MicroOp::new(0x1000 + (self.i % 4) * 4, OpClass::IntAlu)
+                }
+            }
+            fn name(&self) -> &str {
+                "alt"
+            }
+        }
+        let good = well_predicted.run(&mut Alt { i: 0, every: u64::MAX }, 20_000);
+        let bad = poorly_predicted.run(&mut Alt { i: 0, every: 2 }, 20_000);
+        assert!(bad.mispredicts > good.mispredicts + 1000);
+        assert!(bad.cycles > good.cycles, "mispredicts must cost cycles");
+    }
+
+    #[test]
+    fn stats_count_op_classes() {
+        let mut c = core();
+        let stats = c.run(&mut StrideWorkload::new(4096, 64, 0.25), 10_000);
+        assert_eq!(stats.instructions, 10_000);
+        assert!(stats.loads > 0);
+        assert!(stats.stores > 0);
+        assert!(stats.branches > 0);
+    }
+
+    #[test]
+    fn run_resumes_from_previous_state() {
+        let mut c = core();
+        let mut w = StrideWorkload::new(4096, 64, 0.25);
+        c.run(&mut w, 1_000);
+        let t0 = c.now();
+        c.run(&mut w, 1_000);
+        assert!(c.now() > t0);
+    }
+
+    #[test]
+    fn ipc_and_cpi_are_reciprocal() {
+        let stats = RunStats {
+            instructions: 100,
+            cycles: 200,
+            ..Default::default()
+        };
+        assert_eq!(stats.ipc(), 0.5);
+        assert_eq!(stats.cpi(), 2.0);
+    }
+}

@@ -1,0 +1,750 @@
+//! A minimal arbitrary-precision unsigned integer, sufficient for the toy
+//! RSA key-wrapping used in vendor software packaging.
+//!
+//! Little-endian `u32` limbs; schoolbook multiplication and binary long
+//! division. Performance is irrelevant here (keys are wrapped once per
+//! package), so the code optimises for being obviously correct and easy
+//! to test — including property tests against `u128` arithmetic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::bignum::BigUint;
+///
+/// let a = BigUint::from_u64(1) << 100;
+/// let b = &a + &BigUint::from_u64(5);
+/// let (q, r) = b.div_rem(&BigUint::from_u64(7));
+/// assert_eq!(&(&q * &BigUint::from_u64(7)) + &r, b);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs with no trailing zeros (zero = empty).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// Builds a value from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = vec![v as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// Builds a value from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut iter = bytes.rchunks(4);
+        for chunk in &mut iter {
+            let mut limb = 0u32;
+            for &b in chunk {
+                limb = (limb << 8) | u32::from(b);
+            }
+            limbs.push(limb);
+        }
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// Serialises to big-endian bytes with no leading zeros (zero → empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u64::from(self.limbs[0])),
+            2 => Some(u64::from(self.limbs[0]) | (u64::from(self.limbs[1]) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (zero → 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => 32 * (self.limbs.len() - 1) + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Reads bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 32)) & 1 == 1
+    }
+
+    fn trim(mut self) -> Self {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        self
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut limbs = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = u64::from(*self.limbs.get(i).unwrap_or(&0));
+            let b = u64::from(*other.limbs.get(i).unwrap_or(&0));
+            let sum = a + b + carry;
+            limbs.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        Self { limbs }.trim()
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (the type is unsigned).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = i64::from(self.limbs[i]);
+            let b = i64::from(*other.limbs.get(i).unwrap_or(&0));
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs.push(diff as u32);
+        }
+        Self { limbs }.trim()
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u64::from(limbs[i + j]) + u64::from(a) * u64::from(b) + carry;
+                limbs[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = u64::from(limbs[k]) + carry;
+                limbs[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        Self { limbs }.trim()
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        Self { limbs }.trim()
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> Self {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                limbs.push(lo | hi);
+            }
+        }
+        Self { limbs }.trim()
+    }
+
+    /// Returns `(self / divisor, self % divisor)` by binary long division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self < divisor {
+            return (Self::zero(), self.clone());
+        }
+        let shift = self.bit_len() - divisor.bit_len();
+        let mut remainder = self.clone();
+        let mut quotient = Self::zero();
+        let mut shifted = divisor.shl(shift);
+        for s in (0..=shift).rev() {
+            if remainder >= shifted {
+                remainder = remainder.sub(&shifted);
+                quotient = quotient.set_bit(s);
+            }
+            shifted = shifted.shr(1);
+        }
+        (quotient.trim(), remainder.trim())
+    }
+
+    fn set_bit(mut self, i: usize) -> Self {
+        let limb = i / 32;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 32);
+        self
+    }
+
+    /// `self % modulus`.
+    pub fn rem(&self, modulus: &Self) -> Self {
+        self.div_rem(modulus).1
+    }
+
+    /// `(self * other) % modulus`.
+    pub fn mulmod(&self, other: &Self, modulus: &Self) -> Self {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `self^exponent mod modulus` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exponent: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "modpow modulus must be nonzero");
+        if modulus == &Self::one() {
+            return Self::zero();
+        }
+        let mut result = Self::one();
+        let mut base = self.rem(modulus);
+        for i in 0..exponent.bit_len() {
+            if exponent.bit(i) {
+                result = result.mulmod(&base, modulus);
+            }
+            base = base.mulmod(&base, modulus);
+        }
+        result
+    }
+
+    /// Modular inverse of `self` mod `modulus` via extended Euclid, or
+    /// `None` if `gcd(self, modulus) != 1`.
+    pub fn mod_inverse(&self, modulus: &Self) -> Option<Self> {
+        if modulus.is_zero() {
+            return None;
+        }
+        // Extended Euclid with explicit sign tracking for the Bézout
+        // coefficient of `self`.
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem(modulus);
+        let mut t0 = (Self::zero(), false); // (magnitude, negative)
+        let mut t1 = (Self::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q * t1 in signed arithmetic.
+            let qt1 = q.mul(&t1.0);
+            let t2 = signed_sub(&t0, &(qt1, t1.1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 != Self::one() {
+            return None;
+        }
+        let (mag, neg) = t0;
+        Some(if neg { modulus.sub(&mag.rem(modulus)) } else { mag.rem(modulus) })
+    }
+}
+
+/// Signed subtraction on `(magnitude, is_negative)` pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.add(&b.0), true),
+        // (-a) - (-b) = b - a
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{self})")
+    }
+}
+
+impl fmt::Display for BigUint {
+    /// Hexadecimal rendering (decimal conversion is not needed anywhere in
+    /// the simulator and would only invite bugs).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.limbs.is_empty() {
+            return f.write_str("0");
+        }
+        write!(f, "{:x}", self.limbs.last().unwrap())?;
+        for limb in self.limbs.iter().rev().skip(1) {
+            write!(f, "{limb:08x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::ops::Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        BigUint::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        BigUint::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::mul(self, rhs)
+    }
+}
+
+impl std::ops::Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        BigUint::shl(&self, bits)
+    }
+}
+
+impl std::ops::Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        BigUint::shr(&self, bits)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::bignum::{is_probable_prime, BigUint};
+///
+/// let mut rng = rand::thread_rng();
+/// assert!(is_probable_prime(&BigUint::from_u64(65_537), 16, &mut rng));
+/// assert!(!is_probable_prime(&BigUint::from_u64(65_536), 16, &mut rng));
+/// ```
+pub fn is_probable_prime(n: &BigUint, rounds: u32, rng: &mut impl rand::Rng) -> bool {
+    let two = BigUint::from_u64(2);
+    let three = BigUint::from_u64(3);
+    if n < &two {
+        return false;
+    }
+    if n == &two || n == &three {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    // Quick trial division by small primes.
+    for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+        let pb = BigUint::from_u64(p);
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    // n - 1 = d * 2^s with d odd.
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = random_below(&n_minus_1, rng).add(&two).rem(n);
+        if a < two {
+            continue;
+        }
+        let mut x = a.modpow(&d, n);
+        if x == one || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.mulmod(&x.clone(), n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Uniform random value in `[0, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below(bound: &BigUint, rng: &mut impl rand::Rng) -> BigUint {
+    assert!(!bound.is_zero(), "random_below bound must be positive");
+    let bytes = bound.bit_len().div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        // Mask the top byte so the rejection rate stays below 50%.
+        let top_bits = bound.bit_len() % 8;
+        if top_bits != 0 {
+            buf[0] &= (1u8 << top_bits) - 1;
+        }
+        let candidate = BigUint::from_bytes_be(&buf);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn random_prime(bits: usize, rng: &mut impl rand::Rng) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let bytes = bits.div_ceil(8);
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        let mut candidate = BigUint::from_bytes_be(&buf);
+        // Force exact bit width and oddness.
+        candidate = candidate.rem(&BigUint::one().shl(bits));
+        candidate = candidate.set_bit(bits - 1).set_bit(0);
+        if is_probable_prime(&candidate, 20, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_to_bytes_roundtrip() {
+        let v = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(v.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn leading_zero_bytes_are_canonicalised() {
+        let v = BigUint::from_bytes_be(&[0, 0, 0x12, 0x34]);
+        assert_eq!(v, BigUint::from_u64(0x1234));
+    }
+
+    #[test]
+    fn bit_len_and_bit_access() {
+        let v = BigUint::from_u64(0b1011_0000);
+        assert_eq!(v.bit_len(), 8);
+        assert!(v.bit(7));
+        assert!(!v.bit(6));
+        assert!(v.bit(5));
+        assert!(!v.bit(100));
+        assert_eq!(BigUint::zero().bit_len(), 0);
+    }
+
+    #[test]
+    fn division_identity_on_fixed_values() {
+        let a = BigUint::from_bytes_be(&[0xFF; 20]);
+        let b = BigUint::from_bytes_be(&[0x13, 0x37, 0x42]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = BigUint::one().sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn modpow_matches_small_cases() {
+        // 5^13 mod 97 = 26 (check with u64 arithmetic: computed below)
+        let expected = {
+            let mut r: u64 = 1;
+            for _ in 0..13 {
+                r = r * 5 % 97;
+            }
+            r
+        };
+        let got = BigUint::from_u64(5)
+            .modpow(&BigUint::from_u64(13), &BigUint::from_u64(97))
+            .to_u64()
+            .unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn modpow_fermat_little_theorem() {
+        // a^(p-1) = 1 mod p for prime p and gcd(a,p)=1.
+        let p = BigUint::from_u64(1_000_000_007);
+        let a = BigUint::from_u64(123_456_789);
+        let e = p.sub(&BigUint::one());
+        assert_eq!(a.modpow(&e, &p), BigUint::one());
+    }
+
+    #[test]
+    fn mod_inverse_small_cases() {
+        let inv = BigUint::from_u64(3)
+            .mod_inverse(&BigUint::from_u64(11))
+            .unwrap();
+        assert_eq!(inv.to_u64().unwrap(), 4); // 3*4 = 12 = 1 mod 11
+        assert_eq!(
+            BigUint::from_u64(2).mod_inverse(&BigUint::from_u64(4)),
+            None
+        );
+    }
+
+    #[test]
+    fn mod_inverse_of_e_for_rsa_style_modulus() {
+        let e = BigUint::from_u64(65_537);
+        let phi = BigUint::from_u64(3_120_000_004u64); // arbitrary even phi coprime to e
+        if let Some(d) = e.mod_inverse(&phi) {
+            assert_eq!(e.mulmod(&d, &phi), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut rng = rand::thread_rng();
+        for p in [2u64, 3, 5, 7, 97, 65_537, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in [1u64, 4, 100, 65_535, 1_000_000_008, 561, 41041] {
+            // 561 and 41041 are Carmichael numbers.
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn random_prime_has_requested_width() {
+        let mut rng = rand::thread_rng();
+        let p = random_prime(96, &mut rng);
+        assert_eq!(p.bit_len(), 96);
+        assert!(!p.is_even());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(BigUint::from_u64(0xDEADBEEF).to_string(), "deadbeef");
+        assert_eq!(BigUint::zero().to_string(), "0");
+        let big = BigUint::one().shl(64);
+        assert_eq!(big.to_string(), "10000000000000000");
+    }
+
+    fn to_u128(v: &BigUint) -> u128 {
+        let bytes = v.to_bytes_be();
+        let mut out = 0u128;
+        for b in bytes {
+            out = (out << 8) | u128::from(b);
+        }
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u64.., b in 0u64..) {
+            let r = BigUint::from_u64(a).add(&BigUint::from_u64(b));
+            prop_assert_eq!(to_u128(&r), u128::from(a) + u128::from(b));
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64.., b in 0u64..) {
+            let r = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+            prop_assert_eq!(to_u128(&r), u128::from(a) * u128::from(b));
+        }
+
+        #[test]
+        fn div_rem_matches_u64(a in 0u64.., b in 1u64..) {
+            let (q, r) = BigUint::from_u64(a).div_rem(&BigUint::from_u64(b));
+            prop_assert_eq!(q.to_u64().unwrap(), a / b);
+            prop_assert_eq!(r.to_u64().unwrap(), a % b);
+        }
+
+        #[test]
+        fn sub_matches_u64(a in 0u64.., b in 0u64..) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            let r = BigUint::from_u64(hi).sub(&BigUint::from_u64(lo));
+            prop_assert_eq!(r.to_u64().unwrap(), hi - lo);
+        }
+
+        #[test]
+        fn shifts_are_inverse(a in 0u64.., s in 0usize..40) {
+            let v = BigUint::from_u64(a);
+            prop_assert_eq!(v.shl(s).shr(s), v);
+        }
+
+        #[test]
+        fn bytes_roundtrip(bytes in proptest::collection::vec(0u8.., 0..40)) {
+            let v = BigUint::from_bytes_be(&bytes);
+            let back = BigUint::from_bytes_be(&v.to_bytes_be());
+            prop_assert_eq!(v, back);
+        }
+
+        #[test]
+        fn modpow_matches_u128(base in 0u64..1000, exp in 0u64..32, m in 2u64..100_000) {
+            let expected = {
+                let mut r: u128 = 1;
+                for _ in 0..exp {
+                    r = r * u128::from(base) % u128::from(m);
+                }
+                r
+            };
+            let got = BigUint::from_u64(base)
+                .modpow(&BigUint::from_u64(exp), &BigUint::from_u64(m));
+            prop_assert_eq!(to_u128(&got), expected);
+        }
+
+        #[test]
+        fn mod_inverse_verifies(a in 1u64..10_000, m in 2u64..10_000) {
+            let av = BigUint::from_u64(a);
+            let mv = BigUint::from_u64(m);
+            if let Some(inv) = av.mod_inverse(&mv) {
+                prop_assert_eq!(av.mulmod(&inv, &mv), BigUint::one());
+                prop_assert!(inv < mv);
+            }
+        }
+    }
+}

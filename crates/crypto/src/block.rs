@@ -1,0 +1,294 @@
+//! The object-safe block-cipher abstraction shared by the whole workspace.
+
+use std::fmt;
+
+/// A symmetric block cipher operating on fixed-size blocks in place.
+///
+/// The trait is object-safe so the secure memory controller can hold a
+/// `Box<dyn BlockCipher>` chosen at configuration time (the paper's vendor
+/// picks DES; stronger ciphers like AES only change the latency model).
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::{BlockCipher, Des};
+///
+/// let c = Des::new(0x1334_5779_9BBC_DFF1);
+/// let mut block = [0u8; 8];
+/// c.encrypt_block(&mut block);
+/// c.decrypt_block(&mut block);
+/// assert_eq!(block, [0u8; 8]);
+/// ```
+pub trait BlockCipher {
+    /// The cipher's block size in bytes (8 for DES, 16 for AES-128).
+    fn block_size(&self) -> usize;
+
+    /// Encrypts one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `block.len() != self.block_size()`.
+    fn encrypt_block(&self, block: &mut [u8]);
+
+    /// Decrypts one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `block.len() != self.block_size()`.
+    fn decrypt_block(&self, block: &mut [u8]);
+
+    /// A short human-readable cipher name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Encrypts a buffer of whole blocks in place (ECB layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the block size.
+    fn encrypt_blocks(&self, data: &mut [u8]) {
+        let bs = self.block_size();
+        assert_eq!(data.len() % bs, 0, "data must be whole blocks");
+        for chunk in data.chunks_exact_mut(bs) {
+            self.encrypt_block(chunk);
+        }
+    }
+
+    /// Decrypts a buffer of whole blocks in place (ECB layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the block size.
+    fn decrypt_blocks(&self, data: &mut [u8]) {
+        let bs = self.block_size();
+        assert_eq!(data.len() % bs, 0, "data must be whole blocks");
+        for chunk in data.chunks_exact_mut(bs) {
+            self.decrypt_block(chunk);
+        }
+    }
+}
+
+impl<T: BlockCipher + ?Sized> BlockCipher for &T {
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn encrypt_block(&self, block: &mut [u8]) {
+        (**self).encrypt_block(block)
+    }
+    fn decrypt_block(&self, block: &mut [u8]) {
+        (**self).decrypt_block(block)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: BlockCipher + ?Sized> BlockCipher for Box<T> {
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn encrypt_block(&self, block: &mut [u8]) {
+        (**self).encrypt_block(block)
+    }
+    fn decrypt_block(&self, block: &mut [u8]) {
+        (**self).decrypt_block(block)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Selects a concrete cipher at configuration time.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::{BlockCipher, CipherKind};
+///
+/// let cipher = CipherKind::Aes128.instantiate(&[7u8; 16]);
+/// assert_eq!(cipher.block_size(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CipherKind {
+    /// DES with a 64-bit key (the paper's running example).
+    #[default]
+    Des,
+    /// Two-key 3DES (EDE) with a 128-bit key.
+    TripleDes,
+    /// AES-128.
+    Aes128,
+}
+
+impl CipherKind {
+    /// Builds a boxed cipher from key material.
+    ///
+    /// The key bytes are consumed front-to-back; extra bytes are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is shorter than the cipher requires
+    /// (8 bytes for DES, 16 for 3DES/AES-128).
+    pub fn instantiate(self, key: &[u8]) -> Box<dyn BlockCipher> {
+        match self {
+            CipherKind::Des => {
+                let k = u64::from_be_bytes(key[..8].try_into().expect("8-byte DES key"));
+                Box::new(crate::Des::new(k))
+            }
+            CipherKind::TripleDes => {
+                let k1 = u64::from_be_bytes(key[..8].try_into().expect("16-byte 3DES key"));
+                let k2 = u64::from_be_bytes(key[8..16].try_into().expect("16-byte 3DES key"));
+                Box::new(crate::TripleDes::new(k1, k2))
+            }
+            CipherKind::Aes128 => {
+                let k: [u8; 16] = key[..16].try_into().expect("16-byte AES key");
+                Box::new(crate::Aes128::new(&k))
+            }
+        }
+    }
+
+    /// The block size of the chosen cipher, in bytes.
+    pub fn block_size(self) -> usize {
+        match self {
+            CipherKind::Des | CipherKind::TripleDes => 8,
+            CipherKind::Aes128 => 16,
+        }
+    }
+
+    /// The key size the cipher expects, in bytes.
+    pub fn key_size(self) -> usize {
+        match self {
+            CipherKind::Des => 8,
+            CipherKind::TripleDes | CipherKind::Aes128 => 16,
+        }
+    }
+}
+
+impl fmt::Display for CipherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CipherKind::Des => "DES",
+            CipherKind::TripleDes => "3DES",
+            CipherKind::Aes128 => "AES-128",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A deliberately weak test-double cipher: XORs a repeating key byte.
+///
+/// Useful in unit tests that need a `BlockCipher` with observable,
+/// trivially invertible behaviour. **Provides no security whatsoever.**
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::{BlockCipher, XorCipher};
+///
+/// let c = XorCipher::new(0x5A, 8);
+/// let mut b = [0u8; 8];
+/// c.encrypt_block(&mut b);
+/// assert_eq!(b, [0x5A; 8]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorCipher {
+    key: u8,
+    block_size: usize,
+}
+
+impl XorCipher {
+    /// Creates an XOR "cipher" with the given key byte and block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(key: u8, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        Self { key, block_size }
+    }
+}
+
+impl BlockCipher for XorCipher {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        assert_eq!(block.len(), self.block_size);
+        for b in block {
+            *b ^= self.key;
+        }
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        self.encrypt_block(block);
+    }
+
+    fn name(&self) -> &'static str {
+        "xor-test-cipher"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cipher_kind_reports_sizes() {
+        assert_eq!(CipherKind::Des.block_size(), 8);
+        assert_eq!(CipherKind::Des.key_size(), 8);
+        assert_eq!(CipherKind::TripleDes.block_size(), 8);
+        assert_eq!(CipherKind::TripleDes.key_size(), 16);
+        assert_eq!(CipherKind::Aes128.block_size(), 16);
+        assert_eq!(CipherKind::Aes128.key_size(), 16);
+    }
+
+    #[test]
+    fn instantiate_roundtrips_for_all_kinds() {
+        let key = [0x42u8; 16];
+        for kind in [CipherKind::Des, CipherKind::TripleDes, CipherKind::Aes128] {
+            let c = kind.instantiate(&key);
+            let mut block = vec![0xA5u8; c.block_size()];
+            let original = block.clone();
+            c.encrypt_block(&mut block);
+            assert_ne!(block, original, "{kind} encryption must change data");
+            c.decrypt_block(&mut block);
+            assert_eq!(block, original, "{kind} must round-trip");
+        }
+    }
+
+    #[test]
+    fn blocks_helpers_cover_whole_buffer() {
+        let c = XorCipher::new(0xFF, 4);
+        let mut data = vec![0u8; 12];
+        c.encrypt_blocks(&mut data);
+        assert!(data.iter().all(|&b| b == 0xFF));
+        c.decrypt_blocks(&mut data);
+        assert!(data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole blocks")]
+    fn blocks_helpers_reject_ragged_buffer() {
+        let c = XorCipher::new(1, 4);
+        let mut data = vec![0u8; 6];
+        c.encrypt_blocks(&mut data);
+    }
+
+    #[test]
+    fn trait_objects_and_references_delegate() {
+        let c = XorCipher::new(3, 2);
+        let as_ref: &dyn BlockCipher = &c;
+        assert_eq!(as_ref.block_size(), 2);
+        let boxed: Box<dyn BlockCipher> = Box::new(c);
+        assert_eq!(boxed.name(), "xor-test-cipher");
+        let mut b = [0u8; 2];
+        boxed.encrypt_block(&mut b);
+        assert_eq!(b, [3, 3]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CipherKind::Des.to_string(), "DES");
+        assert_eq!(CipherKind::TripleDes.to_string(), "3DES");
+        assert_eq!(CipherKind::Aes128.to_string(), "AES-128");
+    }
+}

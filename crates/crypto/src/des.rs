@@ -1,0 +1,373 @@
+//! DES and two-key 3DES (EDE), implemented from FIPS 46-2.
+//!
+//! DES is the cipher the paper's vendor uses to encrypt the shipped
+//! software (§3.4.1) and the one assumed by its 50-cycle hardware unit.
+//! The implementation here is a straightforward, table-driven Feistel
+//! network validated against published test vectors; it favours clarity
+//! over speed (the timing model never executes it on the simulated
+//! critical path — hardware latency is modeled separately).
+
+use crate::block::BlockCipher;
+
+/// Initial permutation (IP).
+const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+/// Final permutation (IP⁻¹).
+const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+];
+
+/// Expansion E (32 → 48 bits).
+const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
+    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+/// Permutation P applied to the S-box output.
+const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+/// Permuted choice 1 (64 → 56 bits, drops parity).
+const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
+    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
+    29, 21, 13, 5, 28, 20, 12, 4,
+];
+
+/// Permuted choice 2 (56 → 48 bits).
+const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
+    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+/// Per-round left-rotation amounts for the key halves.
+const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+/// The eight S-boxes, each 4 rows × 16 columns.
+const SBOX: [[u8; 64]; 8] = [
+    [
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
+        12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2,
+        4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ],
+    [
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0,
+        1, 10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1,
+        3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ],
+    [
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
+        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0, 6,
+        9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ],
+    [
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2,
+        12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6, 10,
+        1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ],
+    [
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0,
+        15, 10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7,
+        1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ],
+    [
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1,
+        13, 14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12,
+        9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ],
+    [
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3,
+        5, 12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8,
+        1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ],
+    [
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5,
+        6, 11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7,
+        4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ],
+];
+
+/// Applies a 1-based bit permutation table to `input`.
+///
+/// Bit 1 is the most significant bit of the `in_bits`-wide input, matching
+/// the FIPS numbering convention. The output is `table.len()` bits wide,
+/// left-aligned at bit `table.len() - 1`.
+fn permute(input: u64, table: &[u8], in_bits: u32) -> u64 {
+    let mut out = 0u64;
+    for &src in table {
+        out <<= 1;
+        out |= (input >> (in_bits - u32::from(src))) & 1;
+    }
+    out
+}
+
+/// The Feistel function f(R, K).
+fn feistel(r: u32, subkey: u64) -> u32 {
+    let expanded = permute(u64::from(r), &E, 32) ^ subkey;
+    let mut sout = 0u32;
+    for (i, sbox) in SBOX.iter().enumerate() {
+        let six = ((expanded >> (42 - 6 * i)) & 0x3F) as usize;
+        // Row = outer two bits, column = inner four; the flat tables above
+        // are stored row-major, so row*16 + col indexes directly.
+        let row = ((six & 0x20) >> 4) | (six & 1);
+        let col = (six >> 1) & 0xF;
+        sout = (sout << 4) | u32::from(sbox[row * 16 + col]);
+    }
+    permute(u64::from(sout), &P, 32) as u32
+}
+
+/// Derives the sixteen 48-bit round subkeys from a 64-bit key.
+fn key_schedule(key: u64) -> [u64; 16] {
+    let pc1 = permute(key, &PC1, 64);
+    let mut c = ((pc1 >> 28) & 0x0FFF_FFFF) as u32;
+    let mut d = (pc1 & 0x0FFF_FFFF) as u32;
+    let mut subkeys = [0u64; 16];
+    for (round, &shift) in SHIFTS.iter().enumerate() {
+        c = ((c << shift) | (c >> (28 - shift))) & 0x0FFF_FFFF;
+        d = ((d << shift) | (d >> (28 - shift))) & 0x0FFF_FFFF;
+        let cd = (u64::from(c) << 28) | u64::from(d);
+        subkeys[round] = permute(cd, &PC2, 56);
+    }
+    subkeys
+}
+
+/// The Data Encryption Standard with a 64-bit key (56 effective bits).
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::Des;
+///
+/// let des = Des::new(0x1334_5779_9BBC_DFF1);
+/// let ct = des.encrypt_u64(0x0123_4567_89AB_CDEF);
+/// assert_eq!(ct, 0x85E8_1354_0F0A_B405); // classic published vector
+/// assert_eq!(des.decrypt_u64(ct), 0x0123_4567_89AB_CDEF);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Des {
+    subkeys: [u64; 16],
+}
+
+impl Des {
+    /// Creates a DES instance from a 64-bit key (parity bits ignored,
+    /// per the standard).
+    pub fn new(key: u64) -> Self {
+        Self {
+            subkeys: key_schedule(key),
+        }
+    }
+
+    fn crypt(&self, block: u64, decrypt: bool) -> u64 {
+        let permuted = permute(block, &IP, 64);
+        let mut l = (permuted >> 32) as u32;
+        let mut r = permuted as u32;
+        for round in 0..16 {
+            let k = if decrypt {
+                self.subkeys[15 - round]
+            } else {
+                self.subkeys[round]
+            };
+            let next_r = l ^ feistel(r, k);
+            l = r;
+            r = next_r;
+        }
+        // Final swap: pre-output is R16 || L16.
+        let preout = (u64::from(r) << 32) | u64::from(l);
+        permute(preout, &FP, 64)
+    }
+
+    /// Encrypts a 64-bit block.
+    pub fn encrypt_u64(&self, block: u64) -> u64 {
+        self.crypt(block, false)
+    }
+
+    /// Decrypts a 64-bit block.
+    pub fn decrypt_u64(&self, block: u64) -> u64 {
+        self.crypt(block, true)
+    }
+}
+
+impl BlockCipher for Des {
+    fn block_size(&self) -> usize {
+        8
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        let b = u64::from_be_bytes(block.try_into().expect("8-byte DES block"));
+        block.copy_from_slice(&self.encrypt_u64(b).to_be_bytes());
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        let b = u64::from_be_bytes(block.try_into().expect("8-byte DES block"));
+        block.copy_from_slice(&self.decrypt_u64(b).to_be_bytes());
+    }
+
+    fn name(&self) -> &'static str {
+        "DES"
+    }
+}
+
+/// Two-key triple DES in EDE configuration: `E_{k1}(D_{k2}(E_{k1}(x)))`.
+///
+/// Mentioned by the paper (§3.3) as a stream-cipher-quality pseudorandom
+/// generator alternative to DES.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::{BlockCipher, TripleDes};
+///
+/// let tdes = TripleDes::new(0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210);
+/// let mut block = *b"8 bytes!";
+/// let original = block;
+/// tdes.encrypt_block(&mut block);
+/// tdes.decrypt_block(&mut block);
+/// assert_eq!(block, original);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripleDes {
+    k1: Des,
+    k2: Des,
+}
+
+impl TripleDes {
+    /// Creates a two-key 3DES instance.
+    pub fn new(key1: u64, key2: u64) -> Self {
+        Self {
+            k1: Des::new(key1),
+            k2: Des::new(key2),
+        }
+    }
+
+    /// Encrypts a 64-bit block (EDE).
+    pub fn encrypt_u64(&self, block: u64) -> u64 {
+        self.k1
+            .encrypt_u64(self.k2.decrypt_u64(self.k1.encrypt_u64(block)))
+    }
+
+    /// Decrypts a 64-bit block (DED).
+    pub fn decrypt_u64(&self, block: u64) -> u64 {
+        self.k1
+            .decrypt_u64(self.k2.encrypt_u64(self.k1.decrypt_u64(block)))
+    }
+}
+
+impl BlockCipher for TripleDes {
+    fn block_size(&self) -> usize {
+        8
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        let b = u64::from_be_bytes(block.try_into().expect("8-byte 3DES block"));
+        block.copy_from_slice(&self.encrypt_u64(b).to_be_bytes());
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        let b = u64::from_be_bytes(block.try_into().expect("8-byte 3DES block"));
+        block.copy_from_slice(&self.decrypt_u64(b).to_be_bytes());
+    }
+
+    fn name(&self) -> &'static str {
+        "3DES"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example from FIPS 46 tutorial material.
+    #[test]
+    fn classic_vector_133457799bbcdff1() {
+        let des = Des::new(0x1334_5779_9BBC_DFF1);
+        assert_eq!(
+            des.encrypt_u64(0x0123_4567_89AB_CDEF),
+            0x85E8_1354_0F0A_B405
+        );
+    }
+
+    /// Weak-key vector: all-ones parity key over the zero block.
+    #[test]
+    fn vector_weak_parity_key() {
+        let des = Des::new(0x0101_0101_0101_0101);
+        assert_eq!(des.encrypt_u64(0), 0x8CA6_4DE9_C1B1_23A7);
+    }
+
+    /// "Now is t" under key 0123456789ABCDEF (Stallings' textbook vector).
+    #[test]
+    fn vector_now_is_t() {
+        let des = Des::new(0x0123_4567_89AB_CDEF);
+        assert_eq!(
+            des.encrypt_u64(0x4E6F_7720_6973_2074),
+            0x3FA4_0E8A_984D_4815
+        );
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_for_many_blocks() {
+        let des = Des::new(0xDEAD_BEEF_0BAD_F00D);
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..64 {
+            let c = des.encrypt_u64(x);
+            assert_eq!(des.decrypt_u64(c), x);
+            x = x.rotate_left(7).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[test]
+    fn parity_bits_do_not_affect_the_key_schedule() {
+        // PC-1 drops bits 8,16,...,64; flipping them must not change output.
+        let a = Des::new(0x1334_5779_9BBC_DFF1);
+        let b = Des::new(0x1334_5779_9BBC_DFF1 ^ 0x0101_0101_0101_0101);
+        assert_eq!(a.encrypt_u64(12345), b.encrypt_u64(12345));
+    }
+
+    #[test]
+    fn des_complementation_property() {
+        // DES(~k, ~p) == ~DES(k, p) — a classic structural property that
+        // exercises every table in the implementation.
+        let k = 0x0123_4567_89AB_CDEFu64;
+        let p = 0x4E6F_7720_6973_2074u64;
+        let c = Des::new(k).encrypt_u64(p);
+        let c_comp = Des::new(!k).encrypt_u64(!p);
+        assert_eq!(c_comp, !c);
+    }
+
+    #[test]
+    fn triple_des_degenerates_to_single_des_with_equal_keys() {
+        let k = 0x0123_4567_89AB_CDEFu64;
+        let tdes = TripleDes::new(k, k);
+        let des = Des::new(k);
+        let p = 0x1122_3344_5566_7788u64;
+        assert_eq!(tdes.encrypt_u64(p), des.encrypt_u64(p));
+    }
+
+    #[test]
+    fn triple_des_roundtrip_with_distinct_keys() {
+        let tdes = TripleDes::new(0xAAAA_BBBB_CCCC_DDDD, 0x1111_2222_3333_4444);
+        let p = 0x0F0F_0F0F_F0F0_F0F0u64;
+        assert_eq!(tdes.decrypt_u64(tdes.encrypt_u64(p)), p);
+    }
+
+    #[test]
+    fn byte_api_matches_u64_api() {
+        let des = Des::new(0x1334_5779_9BBC_DFF1);
+        let mut bytes = 0x0123_4567_89AB_CDEFu64.to_be_bytes();
+        des.encrypt_block(&mut bytes);
+        assert_eq!(u64::from_be_bytes(bytes), 0x85E8_1354_0F0A_B405);
+    }
+
+    #[test]
+    fn permute_identity_table() {
+        let table: Vec<u8> = (1..=64).collect();
+        assert_eq!(permute(0x0123_4567_89AB_CDEF, &table, 64), 0x0123_4567_89AB_CDEF);
+    }
+}

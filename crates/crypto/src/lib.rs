@@ -1,0 +1,92 @@
+//! Cryptographic substrate for the `padlock` secure processor.
+//!
+//! The MICRO-36 2003 paper assumes a vendor-side symmetric cipher (DES is
+//! its running example, AES/3DES mentioned as stronger options), an
+//! asymmetric pair for shipping the symmetric key to the target processor,
+//! and a one-time-pad (counter-mode) construction `C = P xor E_K(seed)`.
+//! This crate implements all of them from scratch:
+//!
+//! * [`Des`], [`TripleDes`], [`Aes128`] — block ciphers validated against
+//!   published test vectors, behind the object-safe [`BlockCipher`] trait;
+//! * [`Sha256`] — used by the optional integrity (Merkle) extension;
+//! * [`CbcMac`] — per-line MACs bound to the line address;
+//! * [`rsa`] — a toy RSA implementation (own [`bignum`] + Miller–Rabin)
+//!   for vendor key wrapping. **Not constant-time; simulation only.**
+//! * [`OneTimePad`] — the pad generator/combiner of the paper's §3.2;
+//! * [`CryptoUnitModel`] — the fixed-latency, fully pipelined hardware
+//!   crypto unit the paper's timing model assumes (50 or 102 cycles).
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock_crypto::{BlockCipher, Des, OneTimePad};
+//!
+//! let cipher = Des::new(0x0123_4567_89AB_CDEF);
+//! let otp = OneTimePad::new(cipher);
+//! let plain = *b"secret instrs 64";
+//! let ct = otp.encrypt(0x4000, &plain);
+//! assert_ne!(ct, plain.to_vec());
+//! assert_eq!(otp.decrypt(0x4000, &ct), plain.to_vec());
+//! ```
+
+#![warn(missing_docs)]
+
+mod aes;
+pub mod bignum;
+mod block;
+mod des;
+mod engine;
+mod mac;
+mod otp;
+pub mod rsa;
+mod sha256;
+
+pub use aes::Aes128;
+pub use block::{BlockCipher, CipherKind, XorCipher};
+pub use des::{Des, TripleDes};
+pub use engine::CryptoUnitModel;
+pub use mac::CbcMac;
+pub use otp::OneTimePad;
+pub use sha256::Sha256;
+
+/// XORs `pad` into `data` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let mut d = [0xAAu8, 0x55];
+/// padlock_crypto::xor_in_place(&mut d, &[0xFF, 0xFF]);
+/// assert_eq!(d, [0x55, 0xAA]);
+/// ```
+pub fn xor_in_place(data: &mut [u8], pad: &[u8]) {
+    assert_eq!(data.len(), pad.len(), "xor operands must have equal length");
+    for (d, p) in data.iter_mut().zip(pad) {
+        *d ^= p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_in_place_is_involutive() {
+        let original = [1u8, 2, 3, 4];
+        let pad = [9u8, 8, 7, 6];
+        let mut data = original;
+        xor_in_place(&mut data, &pad);
+        xor_in_place(&mut data, &pad);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn xor_in_place_rejects_length_mismatch() {
+        let mut d = [0u8; 2];
+        xor_in_place(&mut d, &[0u8; 3]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The one-time-pad (counter-mode) construction of the paper's §3.2.
+//!
+//! `ciphertext = plaintext xor E_K(seed)`, where the seed is derived from
+//! the line's address (plus a per-line sequence number for writable data —
+//! that policy lives in `padlock-core`; this module implements the
+//! pad-generation mechanics for any 64-bit seed).
+//!
+//! Multi-block lines use one pad block per cipher block: block `i` of a
+//! line seeded with `s` uses `E_K(s + i·blocksize)`, exactly the paper's
+//! `E(A0)·E(A0+1)…` instruction-encryption example generalised to any
+//! base seed.
+
+use crate::block::BlockCipher;
+use crate::xor_in_place;
+
+/// One-time-pad encryptor/decryptor over a block cipher.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::{Des, OneTimePad};
+///
+/// let otp = OneTimePad::new(Des::new(0xDEAD_BEEF_1234_5678));
+/// let line = vec![0x11u8; 128];
+/// let ct = otp.encrypt(0x8000, &line);
+/// assert_eq!(otp.decrypt(0x8000, &ct), line);
+/// // A different seed produces an unrelated pad:
+/// assert_ne!(otp.decrypt(0x8040, &ct), line);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OneTimePad<C> {
+    cipher: C,
+}
+
+impl<C: BlockCipher> OneTimePad<C> {
+    /// Creates a pad engine over the given cipher.
+    pub fn new(cipher: C) -> Self {
+        Self { cipher }
+    }
+
+    /// Borrows the underlying cipher.
+    pub fn cipher(&self) -> &C {
+        &self.cipher
+    }
+
+    /// Generates `len` pad bytes for the given 64-bit base seed.
+    ///
+    /// `len` may be any multiple of the cipher block size. Pad block `i`
+    /// is `E_K(seed + i·block_size)` with the counter encoded big-endian
+    /// in the low 8 bytes of the cipher block (high bytes zero for
+    /// 16-byte ciphers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not a multiple of the block size.
+    pub fn pad(&self, seed: u64, len: usize) -> Vec<u8> {
+        let bs = self.cipher.block_size();
+        assert_eq!(len % bs, 0, "pad length must be whole cipher blocks");
+        let mut out = vec![0u8; len];
+        for (i, chunk) in out.chunks_exact_mut(bs).enumerate() {
+            let counter = seed.wrapping_add((i * bs) as u64);
+            chunk[bs - 8..].copy_from_slice(&counter.to_be_bytes());
+            self.cipher.encrypt_block(chunk);
+        }
+        out
+    }
+
+    /// Encrypts `plaintext` under the pad for `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext length is not a multiple of the cipher
+    /// block size.
+    pub fn encrypt(&self, seed: u64, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.apply_in_place(seed, &mut out);
+        out
+    }
+
+    /// Decrypts `ciphertext` under the pad for `seed` (identical to
+    /// encryption — XOR is an involution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext length is not a multiple of the cipher
+    /// block size.
+    pub fn decrypt(&self, seed: u64, ciphertext: &[u8]) -> Vec<u8> {
+        self.encrypt(seed, ciphertext)
+    }
+
+    /// XORs the pad for `seed` into `data` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the cipher block size.
+    pub fn apply_in_place(&self, seed: u64, data: &mut [u8]) {
+        let pad = self.pad(seed, data.len());
+        xor_in_place(data, &pad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aes128, Des, XorCipher};
+
+    #[test]
+    fn roundtrip_des_line() {
+        let otp = OneTimePad::new(Des::new(42));
+        let line: Vec<u8> = (0..128u32).map(|i| i as u8).collect();
+        let ct = otp.encrypt(0x1000, &line);
+        assert_ne!(ct, line);
+        assert_eq!(otp.decrypt(0x1000, &ct), line);
+    }
+
+    #[test]
+    fn roundtrip_aes_line() {
+        let otp = OneTimePad::new(Aes128::new(&[3u8; 16]));
+        let line = vec![0xC3u8; 128];
+        let ct = otp.encrypt(7, &line);
+        assert_eq!(otp.decrypt(7, &ct), line);
+    }
+
+    #[test]
+    fn pad_blocks_follow_the_paper_counter_layout() {
+        // With DES and seed A0, block i of the pad must equal E(A0 + 8i):
+        // the paper's E(A0), E(A0+1)... with the +1 scaled to byte
+        // addressing of consecutive 64-bit blocks.
+        let des = Des::new(0x1334_5779_9BBC_DFF1);
+        let otp = OneTimePad::new(des.clone());
+        let seed = 0x4000u64;
+        let pad = otp.pad(seed, 32);
+        for i in 0..4u64 {
+            let expected = des.encrypt_u64(seed + 8 * i).to_be_bytes();
+            assert_eq!(&pad[(i as usize) * 8..(i as usize) * 8 + 8], &expected);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_unrelated_pads() {
+        let otp = OneTimePad::new(Des::new(99));
+        let a = otp.pad(0x4000, 16);
+        let b = otp.pad(0x4008, 16);
+        // The second block of pad(0x4000) is E(0x4008) which equals the
+        // first block of pad(0x4008): counters overlap when seeds are
+        // 1 block apart. Neighbouring *lines* use seeds a full line apart,
+        // so no overlap occurs there; assert the overlapping structure here
+        // to document it.
+        assert_eq!(&a[8..16], &b[..8]);
+        let c = otp.pad(0x8000, 16);
+        assert_ne!(&a[..8], &c[..8]);
+    }
+
+    #[test]
+    fn same_value_different_location_has_different_ciphertext() {
+        // The paper's motivating privacy property (§3.4 Advantage).
+        let otp = OneTimePad::new(Des::new(5));
+        let value = vec![0u8; 64];
+        let c1 = otp.encrypt(0x1000, &value);
+        let c2 = otp.encrypt(0x2000, &value);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn seed_wraparound_is_well_defined() {
+        let otp = OneTimePad::new(Des::new(5));
+        let pad = otp.pad(u64::MAX - 7, 16);
+        assert_eq!(pad.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole cipher blocks")]
+    fn ragged_length_panics() {
+        let otp = OneTimePad::new(XorCipher::new(1, 8));
+        let _ = otp.pad(0, 12);
+    }
+
+    #[test]
+    fn apply_in_place_matches_encrypt() {
+        let otp = OneTimePad::new(Des::new(1234));
+        let line = vec![0xABu8; 24];
+        let mut inplace = line.clone();
+        otp.apply_in_place(9, &mut inplace);
+        assert_eq!(inplace, otp.encrypt(9, &line));
+    }
+
+    #[test]
+    fn cipher_accessor_returns_engine() {
+        let otp = OneTimePad::new(Des::new(7));
+        assert_eq!(otp.cipher().block_size(), 8);
+    }
+}

@@ -1,0 +1,320 @@
+//! A toy RSA implementation for vendor key wrapping.
+//!
+//! The paper's software distribution model (§2.1): the vendor encrypts the
+//! program under a symmetric key `Ks`, then wraps `Ks` with the target
+//! processor's public key `Kp`; only the processor holding the private key
+//! `Kp⁻¹` can unwrap it, so software packaged for processor A will not run
+//! on processor B.
+//!
+//! **This is a simulation artefact, not production cryptography**: no
+//! padding-oracle defences, no constant-time arithmetic, small default key
+//! sizes to keep tests fast.
+
+use crate::bignum::{random_below, random_prime, BigUint};
+use std::fmt;
+
+/// Errors returned by RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// The message (as an integer) is not smaller than the modulus.
+    MessageTooLarge,
+    /// The ciphertext (as an integer) is not smaller than the modulus.
+    CiphertextTooLarge,
+    /// The unwrapped payload had the wrong length for the expected key.
+    BadPayloadLength {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes found after unwrapping.
+        found: usize,
+    },
+}
+
+impl fmt::Display for RsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsaError::MessageTooLarge => write!(f, "message does not fit under the modulus"),
+            RsaError::CiphertextTooLarge => write!(f, "ciphertext does not fit under the modulus"),
+            RsaError::BadPayloadLength { expected, found } => {
+                write!(f, "unwrapped payload was {found} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA private key `(n, d)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PrivateKey {
+    n: BigUint,
+    d: BigUint,
+}
+
+impl fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the private exponent.
+        f.debug_struct("PrivateKey").finish_non_exhaustive()
+    }
+}
+
+/// An RSA key pair.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_crypto::rsa::KeyPair;
+///
+/// let mut rng = rand::thread_rng();
+/// let pair = KeyPair::generate(256, &mut rng);
+/// let ct = pair.public().encrypt(b"Ks", &mut rng).unwrap();
+/// assert_eq!(pair.private().decrypt(&ct).unwrap(), b"Ks");
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    public: PublicKey,
+    private: PrivateKey,
+}
+
+impl KeyPair {
+    /// Generates a key pair with a modulus of roughly `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 64` (too small even for a toy).
+    pub fn generate(bits: usize, rng: &mut impl rand::Rng) -> Self {
+        assert!(bits >= 64, "RSA modulus must be at least 64 bits");
+        let e = BigUint::from_u64(65_537);
+        loop {
+            let p = random_prime(bits / 2, rng);
+            let q = random_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            if let Some(d) = e.mod_inverse(&phi) {
+                return Self {
+                    public: PublicKey { n: n.clone(), e: e.clone() },
+                    private: PrivateKey { n, d },
+                };
+            }
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The private half.
+    pub fn private(&self) -> &PrivateKey {
+        &self.private
+    }
+}
+
+impl PublicKey {
+    /// Encrypts a short message (must fit under the modulus after the
+    /// 1-byte sentinel prefix).
+    ///
+    /// A random even-length nonce is *not* used: the scheme prepends a
+    /// constant 0x01 sentinel so leading zero bytes of the payload survive
+    /// the integer round-trip. Determinism keeps tests simple; the
+    /// simulator wraps high-entropy symmetric keys, where determinism is
+    /// harmless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::MessageTooLarge`] if the padded message does not
+    /// fit under the modulus.
+    pub fn encrypt(&self, msg: &[u8], _rng: &mut impl rand::Rng) -> Result<Vec<u8>, RsaError> {
+        let mut padded = Vec::with_capacity(msg.len() + 1);
+        padded.push(0x01);
+        padded.extend_from_slice(msg);
+        let m = BigUint::from_bytes_be(&padded);
+        if m >= self.n {
+            return Err(RsaError::MessageTooLarge);
+        }
+        Ok(m.modpow(&self.e, &self.n).to_bytes_be())
+    }
+
+    /// The modulus size in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bit_len()
+    }
+}
+
+impl PrivateKey {
+    /// Decrypts a ciphertext produced by [`PublicKey::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsaError::CiphertextTooLarge`] when the ciphertext does
+    /// not fit under the modulus, or [`RsaError::BadPayloadLength`] when
+    /// the sentinel byte is missing (wrong key or corrupted ciphertext).
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let c = BigUint::from_bytes_be(ciphertext);
+        if c >= self.n {
+            return Err(RsaError::CiphertextTooLarge);
+        }
+        let padded = c.modpow(&self.d, &self.n).to_bytes_be();
+        if padded.first() != Some(&0x01) {
+            return Err(RsaError::BadPayloadLength {
+                expected: 1,
+                found: 0,
+            });
+        }
+        Ok(padded[1..].to_vec())
+    }
+}
+
+/// Wraps symmetric key bytes for a target processor.
+///
+/// Convenience wrapper matching the paper's vocabulary: the vendor calls
+/// this once per package.
+///
+/// # Errors
+///
+/// Propagates [`RsaError::MessageTooLarge`] for oversized keys.
+pub fn wrap_key(
+    key_bytes: &[u8],
+    target: &PublicKey,
+    rng: &mut impl rand::Rng,
+) -> Result<Vec<u8>, RsaError> {
+    target.encrypt(key_bytes, rng)
+}
+
+/// Unwraps symmetric key bytes on the processor; fails (or yields garbage
+/// rejected by the sentinel) under the wrong private key.
+///
+/// # Errors
+///
+/// See [`PrivateKey::decrypt`].
+pub fn unwrap_key(wrapped: &[u8], private: &PrivateKey) -> Result<Vec<u8>, RsaError> {
+    private.decrypt(wrapped)
+}
+
+/// Generates a random symmetric key of `len` bytes.
+pub fn random_symmetric_key(len: usize, rng: &mut impl rand::Rng) -> Vec<u8> {
+    // random_below guarantees uniformity; here plain fill is fine.
+    let mut key = vec![0u8; len];
+    rng.fill_bytes(&mut key);
+    // Avoid the degenerate all-zero key, which some ciphers treat weakly.
+    if key.iter().all(|&b| b == 0) {
+        key[0] = random_below(&BigUint::from_u64(255), rng)
+            .to_u64()
+            .unwrap_or(1) as u8
+            | 1;
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFACE_FEED)
+    }
+
+    #[test]
+    fn roundtrip_small_message() {
+        let mut rng = rng();
+        let pair = KeyPair::generate(128, &mut rng);
+        let ct = pair.public().encrypt(b"hello", &mut rng).unwrap();
+        assert_eq!(pair.private().decrypt(&ct).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn leading_zero_bytes_survive() {
+        let mut rng = rng();
+        let pair = KeyPair::generate(128, &mut rng);
+        let msg = [0u8, 0, 0x42];
+        let ct = pair.public().encrypt(&msg, &mut rng).unwrap();
+        assert_eq!(pair.private().decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn wrong_key_does_not_recover_plaintext() {
+        let mut rng = rng();
+        let a = KeyPair::generate(128, &mut rng);
+        let b = KeyPair::generate(128, &mut rng);
+        let ct = a.public().encrypt(b"Ks16byteSymKey!!", &mut rng);
+        // 16-byte message may not fit under a 128-bit modulus; use 8 bytes.
+        let ct = match ct {
+            Ok(c) => c,
+            Err(RsaError::MessageTooLarge) => a.public().encrypt(b"Ks8byte", &mut rng).unwrap(),
+            Err(e) => panic!("unexpected: {e}"),
+        };
+        match b.private().decrypt(&ct) {
+            Ok(pt) => assert_ne!(&pt[..], b"Ks8byte"),
+            Err(_) => {} // rejection is also acceptable
+        }
+    }
+
+    #[test]
+    fn oversized_message_is_rejected() {
+        let mut rng = rng();
+        let pair = KeyPair::generate(64, &mut rng);
+        let msg = [0xFFu8; 16];
+        assert_eq!(
+            pair.public().encrypt(&msg, &mut rng),
+            Err(RsaError::MessageTooLarge)
+        );
+    }
+
+    #[test]
+    fn oversized_ciphertext_is_rejected() {
+        let mut rng = rng();
+        let pair = KeyPair::generate(64, &mut rng);
+        let huge = [0xFFu8; 32];
+        assert_eq!(
+            pair.private().decrypt(&huge),
+            Err(RsaError::CiphertextTooLarge)
+        );
+    }
+
+    #[test]
+    fn wrap_unwrap_key_roundtrip() {
+        let mut rng = rng();
+        let pair = KeyPair::generate(256, &mut rng);
+        let ks = random_symmetric_key(16, &mut rng);
+        let wrapped = wrap_key(&ks, pair.public(), &mut rng).unwrap();
+        assert_eq!(unwrap_key(&wrapped, pair.private()).unwrap(), ks);
+    }
+
+    #[test]
+    fn random_symmetric_key_is_never_all_zero() {
+        let mut rng = rng();
+        for _ in 0..32 {
+            let k = random_symmetric_key(8, &mut rng);
+            assert!(k.iter().any(|&b| b != 0));
+        }
+    }
+
+    #[test]
+    fn private_key_debug_hides_exponent() {
+        let mut rng = rng();
+        let pair = KeyPair::generate(64, &mut rng);
+        let s = format!("{:?}", pair.private());
+        assert!(s.contains("PrivateKey"));
+        assert!(!s.contains("d:"));
+    }
+
+    #[test]
+    fn modulus_bits_close_to_requested() {
+        let mut rng = rng();
+        let pair = KeyPair::generate(128, &mut rng);
+        let bits = pair.public().modulus_bits();
+        assert!((126..=128).contains(&bits), "got {bits}");
+    }
+}

@@ -1,0 +1,429 @@
+//! A two-pass assembler for the tiny ISA.
+//!
+//! Syntax: one instruction per line; `;` or `#` comments; `label:`
+//! definitions; `.word N` data directives. Branch/jump targets may be
+//! labels (pc-relative offsets are computed) or literal numbers.
+
+use crate::inst::{encode, Instruction, Opcode, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An assembled program: words plus label metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    words: Vec<u32>,
+    labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// The assembled words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Byte size of the program.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// The word offset of a label, if defined.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// Encodes to little-endian bytes for loading.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(n) = t.strip_prefix('r') {
+        if let Ok(idx) = n.parse::<u8>() {
+            if idx < 16 {
+                return Ok(Reg(idx));
+            }
+        }
+    }
+    Err(AsmError {
+        line,
+        message: format!("expected register, found {t:?}"),
+    })
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let parsed = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(hex) = t.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).map(|v| -v)
+    } else {
+        t.parse::<i64>()
+    };
+    parsed.map_err(|_| AsmError {
+        line,
+        message: format!("expected immediate, found {t:?}"),
+    })
+}
+
+/// `imm(rs1)` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected imm(reg), found {t:?}"),
+    })?;
+    let close = t.rfind(')').ok_or_else(|| AsmError {
+        line,
+        message: "missing )".to_string(),
+    })?;
+    let imm = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let reg = parse_reg(&t[open + 1..close], line)?;
+    Ok((imm, reg))
+}
+
+/// Assembles source text.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for unknown mnemonics, malformed operands,
+/// duplicate or undefined labels, and out-of-range immediates.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    struct Stmt<'a> {
+        line: usize,
+        tokens: Vec<&'a str>,
+    }
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut stmts: Vec<Stmt> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let mut text = raw;
+        if let Some(p) = text.find(|c| c == ';' || c == '#') {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("bad label {label:?}"),
+                });
+            }
+            if labels
+                .insert(label.to_string(), stmts.len() as u32)
+                .is_some()
+            {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("duplicate label {label:?}"),
+                });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        stmts.push(Stmt {
+            line: line_no,
+            tokens,
+        });
+    }
+
+    // Pass 2: encode.
+    let mut words = Vec::with_capacity(stmts.len());
+    for (word_idx, stmt) in stmts.iter().enumerate() {
+        let line = stmt.line;
+        let t = &stmt.tokens;
+        let mnemonic = t[0].to_ascii_lowercase();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if t.len() != n + 1 {
+                Err(AsmError {
+                    line,
+                    message: format!("{mnemonic} expects {n} operands, found {}", t.len() - 1),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let branch_imm = |target: &str| -> Result<u16, AsmError> {
+            let offset: i64 = if let Some(&word) = labels.get(target.trim_end_matches(',')) {
+                i64::from(word) - word_idx as i64 - 1
+            } else {
+                parse_imm(target, line)?
+            };
+            i16::try_from(offset).map(|v| v as u16).map_err(|_| AsmError {
+                line,
+                message: format!("branch offset {offset} out of range"),
+            })
+        };
+        let rrr = |op: Opcode, t: &[&str]| -> Result<Instruction, AsmError> {
+            Ok(Instruction {
+                op,
+                rd: parse_reg(t[1], line)?,
+                rs1: parse_reg(t[2], line)?,
+                imm: u16::from(parse_reg(t[3], line)?.0),
+            })
+        };
+        let inst = match mnemonic.as_str() {
+            ".word" => {
+                need(1)?;
+                let v = parse_imm(t[1], line)?;
+                words.push(v as u32);
+                continue;
+            }
+            "add" => {
+                need(3)?;
+                rrr(Opcode::Add, t)?
+            }
+            "sub" => {
+                need(3)?;
+                rrr(Opcode::Sub, t)?
+            }
+            "and" => {
+                need(3)?;
+                rrr(Opcode::And, t)?
+            }
+            "or" => {
+                need(3)?;
+                rrr(Opcode::Or, t)?
+            }
+            "xor" => {
+                need(3)?;
+                rrr(Opcode::Xor, t)?
+            }
+            "slt" => {
+                need(3)?;
+                rrr(Opcode::Slt, t)?
+            }
+            "mul" => {
+                need(3)?;
+                rrr(Opcode::Mul, t)?
+            }
+            "addi" => {
+                need(3)?;
+                let imm = parse_imm(t[3], line)?;
+                let imm = i16::try_from(imm).map_err(|_| AsmError {
+                    line,
+                    message: format!("immediate {imm} out of i16 range"),
+                })?;
+                Instruction {
+                    op: Opcode::Addi,
+                    rd: parse_reg(t[1], line)?,
+                    rs1: parse_reg(t[2], line)?,
+                    imm: imm as u16,
+                }
+            }
+            "lui" => {
+                need(2)?;
+                let imm = parse_imm(t[2], line)?;
+                let imm = u16::try_from(imm).map_err(|_| AsmError {
+                    line,
+                    message: format!("immediate {imm} out of u16 range"),
+                })?;
+                Instruction {
+                    op: Opcode::Lui,
+                    rd: parse_reg(t[1], line)?,
+                    rs1: Reg::ZERO,
+                    imm,
+                }
+            }
+            "lw" | "sw" => {
+                need(2)?;
+                let (imm, base) = parse_mem(t[2], line)?;
+                let imm = i16::try_from(imm).map_err(|_| AsmError {
+                    line,
+                    message: format!("offset {imm} out of i16 range"),
+                })?;
+                Instruction {
+                    op: if mnemonic == "lw" { Opcode::Lw } else { Opcode::Sw },
+                    rd: parse_reg(t[1], line)?,
+                    rs1: base,
+                    imm: imm as u16,
+                }
+            }
+            "beq" | "bne" => {
+                need(3)?;
+                Instruction {
+                    op: if mnemonic == "beq" {
+                        Opcode::Beq
+                    } else {
+                        Opcode::Bne
+                    },
+                    rd: parse_reg(t[1], line)?,
+                    rs1: parse_reg(t[2], line)?,
+                    imm: branch_imm(t[3])?,
+                }
+            }
+            "jal" => {
+                need(1)?;
+                Instruction {
+                    op: Opcode::Jal,
+                    rd: Reg(15), // link register by convention
+                    rs1: Reg::ZERO,
+                    imm: branch_imm(t[1])?,
+                }
+            }
+            "jr" => {
+                need(1)?;
+                Instruction {
+                    op: Opcode::Jr,
+                    rd: Reg::ZERO,
+                    rs1: parse_reg(t[1], line)?,
+                    imm: 0,
+                }
+            }
+            "out" => {
+                need(1)?;
+                Instruction {
+                    op: Opcode::Out,
+                    rd: Reg::ZERO,
+                    rs1: parse_reg(t[1], line)?,
+                    imm: 0,
+                }
+            }
+            "halt" => {
+                need(0)?;
+                Instruction {
+                    op: Opcode::Halt,
+                    rd: Reg::ZERO,
+                    rs1: Reg::ZERO,
+                    imm: 0,
+                }
+            }
+            other => {
+                return Err(AsmError {
+                    line,
+                    message: format!("unknown mnemonic {other:?}"),
+                })
+            }
+        };
+        words.push(encode(&inst));
+    }
+
+    Ok(Program { words, labels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::decode;
+
+    #[test]
+    fn assembles_simple_arithmetic() {
+        let p = assemble("addi r1, r0, 5\nadd r2, r1, r1\nhalt").unwrap();
+        assert_eq!(p.words().len(), 3);
+        let i0 = decode(p.words()[0]).unwrap();
+        assert_eq!(i0.op, Opcode::Addi);
+        assert_eq!(i0.rd, Reg(1));
+        assert_eq!(i0.simm(), 5);
+    }
+
+    #[test]
+    fn labels_resolve_to_relative_offsets() {
+        let p = assemble(
+            "loop: addi r1, r1, 1\n\
+             bne r1, r2, loop\n\
+             halt",
+        )
+        .unwrap();
+        let b = decode(p.words()[1]).unwrap();
+        // Branch at word 1, target word 0: offset = 0 - 1 - 1 = -2.
+        assert_eq!(b.simm(), -2);
+        assert_eq!(p.label("loop"), Some(0));
+    }
+
+    #[test]
+    fn forward_labels_work() {
+        let p = assemble(
+            "beq r0, r0, done\n\
+             addi r1, r0, 1\n\
+             done: halt",
+        )
+        .unwrap();
+        let b = decode(p.words()[0]).unwrap();
+        assert_eq!(b.simm(), 1); // skip one instruction
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let p = assemble("lw r3, 8(r2)\nsw r3, -4(r2)\nlw r1, (r4)").unwrap();
+        let lw = decode(p.words()[0]).unwrap();
+        assert_eq!(lw.op, Opcode::Lw);
+        assert_eq!(lw.rs1, Reg(2));
+        assert_eq!(lw.simm(), 8);
+        let sw = decode(p.words()[1]).unwrap();
+        assert_eq!(sw.simm(), -4);
+        let lw0 = decode(p.words()[2]).unwrap();
+        assert_eq!(lw0.simm(), 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; header\n\n# also a comment\nhalt ; trailing").unwrap();
+        assert_eq!(p.words().len(), 1);
+    }
+
+    #[test]
+    fn word_directive_emits_raw_data() {
+        let p = assemble(".word 0xDEADBEEF\n.word -1").unwrap();
+        assert_eq!(p.words(), &[0xDEAD_BEEF, u32::MAX]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("addi r1, r0, 1\nfrobnicate r1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err = assemble("x: halt\nx: halt").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let err = assemble("addi r99, r0, 1").unwrap_err();
+        assert!(err.message.contains("register"));
+    }
+
+    #[test]
+    fn out_of_range_immediate_rejected() {
+        let err = assemble("addi r1, r0, 99999").unwrap_err();
+        assert!(err.message.contains("out of i16 range"));
+    }
+
+    #[test]
+    fn encode_is_little_endian() {
+        let p = assemble(".word 0x01020304").unwrap();
+        assert_eq!(p.encode(), vec![4, 3, 2, 1]);
+        assert_eq!(p.byte_len(), 4);
+    }
+}

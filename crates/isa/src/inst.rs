@@ -1,0 +1,190 @@
+//! Instruction encoding: 32-bit words.
+//!
+//! Layout: `[31:24] opcode | [23:20] rd | [19:16] rs1 | [15:0] imm16`.
+//! Register–register ops carry `rs2` in `imm[3:0]`. Sixteen registers;
+//! `r0` reads as zero.
+
+use std::fmt;
+
+/// A register index (0–15); `r0` is hardwired to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The zero register.
+    pub const ZERO: Reg = Reg(0);
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `add rd, rs1, rs2`
+    Add = 0x01,
+    /// `sub rd, rs1, rs2`
+    Sub = 0x02,
+    /// `and rd, rs1, rs2`
+    And = 0x03,
+    /// `or rd, rs1, rs2`
+    Or = 0x04,
+    /// `xor rd, rs1, rs2`
+    Xor = 0x05,
+    /// `slt rd, rs1, rs2` — rd = (rs1 < rs2) signed
+    Slt = 0x06,
+    /// `mul rd, rs1, rs2`
+    Mul = 0x07,
+    /// `addi rd, rs1, imm`
+    Addi = 0x10,
+    /// `lui rd, imm` — rd = imm << 16
+    Lui = 0x11,
+    /// `lw rd, imm(rs1)`
+    Lw = 0x20,
+    /// `sw rd, imm(rs1)` — stores rd
+    Sw = 0x21,
+    /// `beq rd, rs1, imm` — pc-relative word offset
+    Beq = 0x30,
+    /// `bne rd, rs1, imm`
+    Bne = 0x31,
+    /// `jal rd, imm` — rd = pc+4; pc += imm*4
+    Jal = 0x32,
+    /// `jr rs1`
+    Jr = 0x33,
+    /// `out rs1` — append register to the output channel
+    Out = 0x40,
+    /// `halt`
+    Halt = 0x41,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match b {
+            0x01 => Add,
+            0x02 => Sub,
+            0x03 => And,
+            0x04 => Or,
+            0x05 => Xor,
+            0x06 => Slt,
+            0x07 => Mul,
+            0x10 => Addi,
+            0x11 => Lui,
+            0x20 => Lw,
+            0x21 => Sw,
+            0x30 => Beq,
+            0x31 => Bne,
+            0x32 => Jal,
+            0x33 => Jr,
+            0x40 => Out,
+            0x41 => Halt,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination (or store-source) register.
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// 16-bit immediate (sign-extended where applicable); holds `rs2`
+    /// in its low 4 bits for register–register ops.
+    pub imm: u16,
+}
+
+impl Instruction {
+    /// The second source register for register–register forms.
+    pub fn rs2(&self) -> Reg {
+        Reg((self.imm & 0xF) as u8)
+    }
+
+    /// The immediate sign-extended to i32.
+    pub fn simm(&self) -> i32 {
+        self.imm as i16 as i32
+    }
+}
+
+/// Encodes an instruction to its 32-bit word.
+pub fn encode(inst: &Instruction) -> u32 {
+    (u32::from(inst.op as u8) << 24)
+        | (u32::from(inst.rd.0 & 0xF) << 20)
+        | (u32::from(inst.rs1.0 & 0xF) << 16)
+        | u32::from(inst.imm)
+}
+
+/// Decodes a 32-bit word; `None` for invalid opcodes (the VM treats that
+/// as a tamper trap).
+pub fn decode(word: u32) -> Option<Instruction> {
+    let op = Opcode::from_byte((word >> 24) as u8)?;
+    Some(Instruction {
+        op,
+        rd: Reg(((word >> 20) & 0xF) as u8),
+        rs1: Reg(((word >> 16) & 0xF) as u8),
+        imm: (word & 0xFFFF) as u16,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_opcode() {
+        for b in 0u8..=0xFF {
+            if let Some(op) = Opcode::from_byte(b) {
+                let inst = Instruction {
+                    op,
+                    rd: Reg(5),
+                    rs1: Reg(9),
+                    imm: 0x1234,
+                };
+                let word = encode(&inst);
+                assert_eq!(decode(word), Some(inst), "op {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_opcodes_fail_to_decode() {
+        assert_eq!(decode(0xFF00_0000), None);
+        assert_eq!(decode(0x0000_0000), None); // 0x00 is not an opcode
+    }
+
+    #[test]
+    fn rs2_lives_in_low_imm_bits() {
+        let inst = Instruction {
+            op: Opcode::Add,
+            rd: Reg(1),
+            rs1: Reg(2),
+            imm: 0x3,
+        };
+        assert_eq!(inst.rs2(), Reg(3));
+    }
+
+    #[test]
+    fn immediates_sign_extend() {
+        let inst = Instruction {
+            op: Opcode::Addi,
+            rd: Reg(1),
+            rs1: Reg(0),
+            imm: 0xFFFF,
+        };
+        assert_eq!(inst.simm(), -1);
+    }
+
+    #[test]
+    fn register_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(Reg::ZERO, Reg(0));
+    }
+}

@@ -1,0 +1,32 @@
+//! Main-memory models for the `padlock` secure-processor simulator.
+//!
+//! Three independent pieces:
+//!
+//! * [`MemTimingModel`] — the flat-latency DRAM + shared-channel occupancy
+//!   model the paper assumes (100-cycle reads), with traffic accounting by
+//!   class so Fig. 9 (SNC-induced traffic) can be reproduced;
+//! * [`SparseMemory`] — a functional, page-sparse byte store holding real
+//!   (cipher)text for the functional security layer and the tiny-ISA VM;
+//! * [`RegionMap`] — an address-range → attribute map used to mark
+//!   plaintext regions (shared libraries, program inputs; paper §4.3) and
+//!   protected segments.
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock_mem::{MemTimingModel, TrafficClass};
+//!
+//! let mut mem = MemTimingModel::paper_default();
+//! let done = mem.read(0, TrafficClass::LineRead, 128);
+//! assert_eq!(done, 100); // the paper's flat 100-cycle read
+//! ```
+
+#![warn(missing_docs)]
+
+mod region;
+mod sparse;
+mod timing;
+
+pub use region::{RegionMap, RegionOverlap};
+pub use sparse::SparseMemory;
+pub use timing::{MemTimingModel, TrafficClass};

@@ -1,0 +1,181 @@
+//! A functional, page-sparse byte-addressable memory.
+//!
+//! Holds the actual bytes (ciphertext, MACs, spilled sequence numbers) for
+//! the functional security layer and the tiny-ISA VM. Pages materialise on
+//! first touch, so a 48-bit address space costs only what is used.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse byte-addressable memory over the full `u64` address space.
+///
+/// Unwritten bytes read as zero.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_mem::SparseMemory;
+///
+/// let mut mem = SparseMemory::new();
+/// mem.write_bytes(0xFFFF_0000, b"hello");
+/// let mut buf = [0u8; 5];
+/// mem.read_bytes(0xFFFF_0000, &mut buf);
+/// assert_eq!(&buf, b"hello");
+/// assert_eq!(mem.read_u32(0x1234), 0); // untouched memory is zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of materialised pages (for capacity assertions in tests).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The page size in bytes.
+    pub const fn page_size() -> usize {
+        PAGE_SIZE
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` (zero-filled where
+    /// memory was never written). Wraps around at the top of the address
+    /// space like real hardware would not — callers stay below `u64::MAX`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            *b = match self.pages.get(&(a >> PAGE_BITS)) {
+                Some(page) => page[(a as usize) & (PAGE_SIZE - 1)],
+                None => 0,
+            };
+        }
+    }
+
+    /// Writes `data` starting at `addr`, materialising pages as needed.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            self.page_mut(a)[(a as usize) & (PAGE_SIZE - 1)] = b;
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut buf = [0u8; 4];
+        self.read_bytes(addr, &mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Returns an owned copy of `len` bytes at `addr`.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read_bytes(addr, &mut buf);
+        buf
+    }
+
+    /// Zeroes a byte range (releases nothing; pages stay materialised).
+    pub fn zero_range(&mut self, addr: u64, len: usize) {
+        for i in 0..len {
+            let a = addr + i as u64;
+            if let Some(page) = self.pages.get_mut(&(a >> PAGE_BITS)) {
+                page[(a as usize) & (PAGE_SIZE - 1)] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read_u64(0xDEAD_BEEF_0000), 0);
+        assert_eq!(mem.page_count(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_within_page() {
+        let mut mem = SparseMemory::new();
+        mem.write_u32(0x100, 0xCAFE_BABE);
+        assert_eq!(mem.read_u32(0x100), 0xCAFE_BABE);
+        assert_eq!(mem.page_count(), 1);
+    }
+
+    #[test]
+    fn writes_spanning_page_boundary() {
+        let mut mem = SparseMemory::new();
+        let addr = (SparseMemory::page_size() - 2) as u64;
+        mem.write_bytes(addr, &[1, 2, 3, 4]);
+        assert_eq!(mem.read_vec(addr, 4), vec![1, 2, 3, 4]);
+        assert_eq!(mem.page_count(), 2);
+    }
+
+    #[test]
+    fn distinct_pages_are_independent() {
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x0000, u64::MAX);
+        mem.write_u64(0x10_0000, 7);
+        assert_eq!(mem.read_u64(0x0000), u64::MAX);
+        assert_eq!(mem.read_u64(0x10_0000), 7);
+    }
+
+    #[test]
+    fn endianness_is_little() {
+        let mut mem = SparseMemory::new();
+        mem.write_u32(0, 0x0102_0304);
+        assert_eq!(mem.read_vec(0, 4), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn zero_range_clears_bytes() {
+        let mut mem = SparseMemory::new();
+        mem.write_bytes(0x40, &[0xFF; 16]);
+        mem.zero_range(0x44, 8);
+        assert_eq!(mem.read_vec(0x40, 4), vec![0xFF; 4]);
+        assert_eq!(mem.read_vec(0x44, 8), vec![0; 8]);
+        assert_eq!(mem.read_vec(0x4C, 4), vec![0xFF; 4]);
+    }
+
+    #[test]
+    fn sparse_footprint_stays_small() {
+        let mut mem = SparseMemory::new();
+        // Touch 100 widely scattered addresses.
+        for i in 0..100u64 {
+            mem.write_u32(i * 0x1000_0000, i as u32);
+        }
+        assert_eq!(mem.page_count(), 100);
+    }
+}

@@ -1,0 +1,248 @@
+//! Flat-latency DRAM timing with per-class traffic accounting.
+
+use padlock_stats::CounterSet;
+use std::fmt;
+
+/// Classifies a memory transaction for traffic accounting.
+///
+/// The paper's Fig. 9 reports SNC-induced traffic (sequence-number reads
+/// and spills) as a percentage of baseline L2↔memory traffic, so the model
+/// tags every transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// A demand line fill (L2 read miss).
+    LineRead,
+    /// A dirty-line writeback from the write buffer.
+    LineWrite,
+    /// A sequence-number fetch on an SNC miss (LRU policy).
+    SeqRead,
+    /// A sequence-number spill of an evicted SNC entry.
+    SeqWrite,
+    /// A MAC fetch/store (integrity extension; off by default like the
+    /// paper).
+    Mac,
+}
+
+impl TrafficClass {
+    fn counter(self) -> &'static str {
+        match self {
+            TrafficClass::LineRead => "line_reads",
+            TrafficClass::LineWrite => "line_writes",
+            TrafficClass::SeqRead => "seq_reads",
+            TrafficClass::SeqWrite => "seq_writes",
+            TrafficClass::Mac => "mac",
+        }
+    }
+
+    fn bytes_counter(self) -> &'static str {
+        match self {
+            TrafficClass::LineRead => "line_read_bytes",
+            TrafficClass::LineWrite => "line_write_bytes",
+            TrafficClass::SeqRead => "seq_read_bytes",
+            TrafficClass::SeqWrite => "seq_write_bytes",
+            TrafficClass::Mac => "mac_bytes",
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.counter())
+    }
+}
+
+/// The DRAM + channel timing model.
+///
+/// Reads complete `access_latency` cycles after they start; every
+/// transaction occupies the shared channel for `occupancy` cycles, so a
+/// burst of writebacks can delay a following demand read (the paper's
+/// §4.1 concern that SNC replacements "compete with other memory requests
+/// that are critical").
+///
+/// # Examples
+///
+/// ```
+/// use padlock_mem::{MemTimingModel, TrafficClass};
+///
+/// let mut mem = MemTimingModel::new(100, 8);
+/// // A write at cycle 0 occupies the channel until cycle 8,
+/// let wdone = mem.write(0, TrafficClass::LineWrite, 128);
+/// assert_eq!(wdone, 8);
+/// // ...so a read issued at cycle 0 starts at 8 and completes at 108.
+/// let rdone = mem.read(0, TrafficClass::LineRead, 128);
+/// assert_eq!(rdone, 108);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemTimingModel {
+    access_latency: u64,
+    occupancy: u64,
+    busy_until: u64,
+    stats: CounterSet,
+}
+
+impl MemTimingModel {
+    /// The paper's configuration: 100-cycle access latency. Channel
+    /// occupancy of 8 cycles per transaction keeps writeback bursts
+    /// mildly visible without distorting the flat read latency.
+    pub fn paper_default() -> Self {
+        Self::new(100, 8)
+    }
+
+    /// Creates a model with the given access latency and per-transaction
+    /// channel occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `access_latency` is zero.
+    pub fn new(access_latency: u64, occupancy: u64) -> Self {
+        assert!(access_latency > 0, "memory latency must be positive");
+        Self {
+            access_latency,
+            occupancy,
+            busy_until: 0,
+            stats: CounterSet::new("mem"),
+        }
+    }
+
+    /// The configured access latency.
+    pub fn access_latency(&self) -> u64 {
+        self.access_latency
+    }
+
+    /// The configured per-transaction channel occupancy.
+    pub fn occupancy(&self) -> u64 {
+        self.occupancy
+    }
+
+    /// Cycle until which the channel is busy.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Whether the channel is idle at `now` (used by the write buffer to
+    /// "steal idle bus cycles", §3.4).
+    pub fn is_idle(&self, now: u64) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Traffic statistics (`line_reads`, `seq_writes`, `*_bytes`, ...).
+    pub fn stats(&self) -> &CounterSet {
+        &self.stats
+    }
+
+    /// Resets statistics (not channel state).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Issues a read at `now`; returns its completion cycle.
+    pub fn read(&mut self, now: u64, class: TrafficClass, bytes: u32) -> u64 {
+        let start = now.max(self.busy_until);
+        self.busy_until = start + self.occupancy;
+        self.record(class, bytes);
+        start + self.access_latency
+    }
+
+    /// Issues a write at `now`; returns the cycle the channel is released
+    /// (writes are posted — no one waits for DRAM commit).
+    pub fn write(&mut self, now: u64, class: TrafficClass, bytes: u32) -> u64 {
+        let start = now.max(self.busy_until);
+        self.busy_until = start + self.occupancy;
+        self.record(class, bytes);
+        self.busy_until
+    }
+
+    fn record(&mut self, class: TrafficClass, bytes: u32) {
+        self.stats.incr(class.counter());
+        self.stats.add(class.bytes_counter(), u64::from(bytes));
+        self.stats.incr("transactions");
+        self.stats.add("total_bytes", u64::from(bytes));
+    }
+
+    /// Total demand transactions (line reads + writes), the denominator of
+    /// the paper's Fig. 9.
+    pub fn line_transactions(&self) -> u64 {
+        self.stats.get("line_reads") + self.stats.get("line_writes")
+    }
+
+    /// Total SNC-induced transactions (sequence-number reads + spills),
+    /// the numerator of the paper's Fig. 9.
+    pub fn seq_transactions(&self) -> u64 {
+        self.stats.get("seq_reads") + self.stats.get("seq_writes")
+    }
+}
+
+impl Default for MemTimingModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_read_takes_access_latency() {
+        let mut m = MemTimingModel::new(100, 8);
+        assert_eq!(m.read(10, TrafficClass::LineRead, 128), 110);
+    }
+
+    #[test]
+    fn channel_occupancy_queues_transactions() {
+        let mut m = MemTimingModel::new(100, 8);
+        assert_eq!(m.read(0, TrafficClass::LineRead, 128), 100);
+        // Second read queues behind the first transfer slot.
+        assert_eq!(m.read(0, TrafficClass::LineRead, 128), 108);
+        assert_eq!(m.read(0, TrafficClass::LineRead, 128), 116);
+    }
+
+    #[test]
+    fn writes_are_posted() {
+        let mut m = MemTimingModel::new(100, 8);
+        let done = m.write(5, TrafficClass::LineWrite, 128);
+        assert_eq!(done, 13);
+        assert!(m.is_idle(13));
+        assert!(!m.is_idle(12));
+    }
+
+    #[test]
+    fn zero_occupancy_disables_contention() {
+        let mut m = MemTimingModel::new(100, 0);
+        assert_eq!(m.read(0, TrafficClass::LineRead, 128), 100);
+        assert_eq!(m.read(0, TrafficClass::LineRead, 128), 100);
+    }
+
+    #[test]
+    fn traffic_classes_are_tracked_separately() {
+        let mut m = MemTimingModel::paper_default();
+        m.read(0, TrafficClass::LineRead, 128);
+        m.write(0, TrafficClass::LineWrite, 128);
+        m.read(0, TrafficClass::SeqRead, 128);
+        m.write(0, TrafficClass::SeqWrite, 2);
+        assert_eq!(m.stats().get("line_reads"), 1);
+        assert_eq!(m.stats().get("line_writes"), 1);
+        assert_eq!(m.stats().get("seq_reads"), 1);
+        assert_eq!(m.stats().get("seq_writes"), 1);
+        assert_eq!(m.stats().get("seq_write_bytes"), 2);
+        assert_eq!(m.line_transactions(), 2);
+        assert_eq!(m.seq_transactions(), 2);
+        assert_eq!(m.stats().get("transactions"), 4);
+    }
+
+    #[test]
+    fn reset_stats_preserves_channel_state() {
+        let mut m = MemTimingModel::new(100, 8);
+        m.read(0, TrafficClass::LineRead, 128);
+        let busy = m.busy_until();
+        m.reset_stats();
+        assert_eq!(m.busy_until(), busy);
+        assert_eq!(m.stats().get("line_reads"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_latency_rejected() {
+        let _ = MemTimingModel::new(0, 8);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixed-bucket histograms for latency and occupancy distributions.
+
+use std::fmt;
+
+/// A histogram over `u64` samples with caller-supplied bucket boundaries.
+///
+/// Used by the simulator to record, e.g., the distribution of observed
+/// memory-read latencies under each encryption mode, which is how we sanity
+/// check that the OTP fast path really produces `max(mem, crypto) + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_stats::Histogram;
+///
+/// // Buckets: [0,100), [100,151), [151,..)
+/// let mut h = Histogram::new("read latency", vec![100, 151]);
+/// h.record(101);
+/// h.record(150);
+/// h.record(250);
+/// assert_eq!(h.bucket_counts(), &[0, 2, 1]);
+/// assert_eq!(h.samples(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    name: String,
+    /// Upper bounds (exclusive) of all buckets except the last, ascending.
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    samples: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// `bounds` holds the exclusive upper bound of each bucket but the last;
+    /// one final unbounded bucket is added automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly ascending.
+    pub fn new(name: impl Into<String>, bounds: Vec<u64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Self {
+            name: name.into(),
+            bounds,
+            counts: vec![0; n],
+            samples: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| sample < b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Per-bucket counts, one entry per bucket (last bucket is unbounded).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean of all samples, or `None` if no samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.samples as f64)
+        }
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.samples == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Clears all samples, keeping the bucket layout.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.samples = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} samples)", self.name, self.samples)?;
+        let mut lo = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            if i < self.bounds.len() {
+                writeln!(f, "  [{lo}, {}): {count}", self.bounds[i])?;
+                lo = self.bounds[i];
+            } else {
+                writeln!(f, "  [{lo}, inf): {count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_sample_space() {
+        let mut h = Histogram::new("t", vec![10, 20]);
+        for s in [0, 9, 10, 19, 20, 1000] {
+            h.record(s);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn mean_min_max_track_samples() {
+        let mut h = Histogram::new("t", vec![50]);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        h.record(10);
+        h.record(30);
+        assert_eq!(h.mean(), Some(20.0));
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+    }
+
+    #[test]
+    fn reset_clears_samples() {
+        let mut h = Histogram::new("t", vec![5]);
+        h.record(1);
+        h.reset();
+        assert_eq!(h.samples(), 0);
+        assert_eq!(h.bucket_counts(), &[0, 0]);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_bounds_panic() {
+        let _ = Histogram::new("bad", vec![10, 10]);
+    }
+
+    #[test]
+    fn display_lists_every_bucket() {
+        let mut h = Histogram::new("lat", vec![100]);
+        h.record(5);
+        let s = h.to_string();
+        assert!(s.contains("[0, 100): 1"));
+        assert!(s.contains("[100, inf): 0"));
+    }
+}

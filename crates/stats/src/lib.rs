@@ -1,0 +1,33 @@
+//! Counters, summary statistics, and table rendering for the `padlock`
+//! secure-processor simulator.
+//!
+//! Every timing model in the workspace reports its activity through the
+//! types in this crate so that the experiment harness can assemble the
+//! paper's figures without each model inventing its own bookkeeping.
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock_stats::{Counter, Table};
+//!
+//! let mut hits = Counter::new("snc.hits");
+//! hits.add(3);
+//! assert_eq!(hits.value(), 3);
+//!
+//! let mut table = Table::new(vec!["bench".into(), "slowdown %".into()]);
+//! table.push_row(vec!["mcf".into(), "34.76".into()]);
+//! let text = table.render_text();
+//! assert!(text.contains("mcf"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+mod summary;
+mod table;
+
+pub use counter::{Counter, CounterSet};
+pub use histogram::Histogram;
+pub use summary::{arith_mean, geo_mean, percent_change, ratio, Summary};
+pub use table::{Align, Table};

@@ -1,0 +1,39 @@
+//! Synthetic SPEC2000-like workloads for the `padlock` simulator.
+//!
+//! The paper evaluates on 11 SPEC CPU2000 benchmarks run under
+//! SimpleScalar. Shipping (or running) SPEC is impossible here, so this
+//! crate provides deterministic generators whose *memory behaviour* is
+//! calibrated per benchmark: working-set sizes, streaming vs
+//! pointer-chasing mixes, write footprints and their temporal locality,
+//! code footprint, and branch predictability. The evaluation never
+//! depends on program semantics — only on the dynamic address/dependence
+//! stream — so matching those statistics exercises exactly the same
+//! secure-memory controller paths (see DESIGN.md §3 for the substitution
+//! argument).
+//!
+//! Each benchmark is a [`SpecWorkload`] built from a [`SpecProfile`];
+//! [`spec2000_suite`] returns the paper's 11-benchmark lineup in its
+//! figure order.
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock_workloads::{spec2000_suite, SpecWorkload};
+//! use padlock_cpu::Workload;
+//!
+//! let mut suite = spec2000_suite();
+//! assert_eq!(suite.len(), 11);
+//! assert_eq!(suite[6].name(), "mcf");
+//! let op = suite[6].next_op();
+//! let _ = op.class;
+//! ```
+
+#![warn(missing_docs)]
+
+mod profile;
+mod spec;
+mod trace;
+
+pub use profile::SpecProfile;
+pub use spec::{benchmark_profile, spec2000_suite, SpecWorkload, BENCHMARK_NAMES};
+pub use trace::{TracePlayer, TraceRecorder};

@@ -1,0 +1,177 @@
+//! Per-benchmark behavioural profiles.
+//!
+//! Every field is a *behavioural* parameter (instruction mix, working-set
+//! geometry, locality structure) — the profiles contain no target
+//! slowdowns or other results. Figures emerge from simulating these
+//! streams through the cache hierarchy and controllers.
+
+/// A benchmark's behavioural profile.
+///
+/// Address-stream components (all optional by weight):
+///
+/// * **hot** — a small, cache-friendly region (register-allocated
+///   scalars, stack, hot tables);
+/// * **stream** — sequential sweeps over a large array (array codes:
+///   `art`, `equake`);
+/// * **chase** — uniform random lines in a large region, optionally with
+///   serialised dependences (pointer codes: `mcf`, `vpr`, `parser`);
+/// * **drift** — a sliding window over a very large region, written at
+///   the front and re-read while fresh (allocation-heavy codes: `gcc`,
+///   `vortex`, `parser`). Under a no-replacement SNC the window's early
+///   lines consume every slot and later lines get none — the behaviour
+///   the paper observes for `gcc` (§5.1, conclusion 2).
+#[derive(Debug, Clone)]
+pub struct SpecProfile {
+    /// Display name (the paper's row label).
+    pub name: &'static str,
+    /// Fraction of ops that are loads.
+    pub load_frac: f64,
+    /// Fraction of ops that are stores.
+    pub store_frac: f64,
+    /// Fraction of ops that are conditional branches.
+    pub branch_frac: f64,
+    /// Fraction of non-memory, non-branch ops that are floating point.
+    pub fp_frac: f64,
+    /// Hot-region size in bytes.
+    pub hot_bytes: u64,
+    /// Streaming-region size in bytes.
+    pub stream_bytes: u64,
+    /// Pointer-chase region size in bytes.
+    pub chase_bytes: u64,
+    /// Drift region size in bytes (total footprint).
+    pub drift_region_bytes: u64,
+    /// Drift window size in bytes (freshly-written, actively-reused part).
+    pub drift_window_bytes: u64,
+    /// Window advance rate: one line per this many drift writes.
+    pub drift_advance_every: u32,
+    /// Spacing between consecutive drift lines, in lines (1 = dense).
+    /// Power-of-two strides concentrate the footprint in a subset of a
+    /// set-associative SNC's sets, modelling `ammp`'s Fig. 7 behaviour.
+    pub drift_line_stride: u64,
+    /// Read mix weights over (hot, stream, chase, drift); need not be
+    /// normalised.
+    pub read_mix: [f64; 4],
+    /// Write mix weights over (hot, stream, chase, drift).
+    pub write_mix: [f64; 4],
+    /// Fraction of drift *reads* that range over the *ancient heap*
+    /// (long-dead allocations) instead of the fresh window; these are
+    /// the accesses that miss even an LRU SNC.
+    pub drift_cold_read_frac: f64,
+    /// Lifetime dead-allocation footprint, in lines: how much memory the
+    /// process wrote back before the measured window (the paper's 10B
+    /// fast-forwarded instructions). Decides whether a no-replacement
+    /// SNC is already full when measurement starts.
+    pub ancient_lines: u64,
+    /// Whether chase loads form a serial dependence chain (no MLP).
+    pub serial_chase: bool,
+    /// Instruction footprint in bytes.
+    pub code_bytes: u64,
+    /// Fraction of branch sites with effectively random outcomes.
+    pub branch_flip_frac: f64,
+    /// Deterministic seed for the generator.
+    pub seed: u64,
+}
+
+impl SpecProfile {
+    /// A compute-bound default every benchmark derives from.
+    pub fn base(name: &'static str, seed: u64) -> Self {
+        Self {
+            name,
+            load_frac: 0.24,
+            store_frac: 0.10,
+            branch_frac: 0.14,
+            fp_frac: 0.0,
+            hot_bytes: 64 << 10,
+            stream_bytes: 0,
+            chase_bytes: 0,
+            drift_region_bytes: 0,
+            drift_window_bytes: 0,
+            drift_advance_every: 8,
+            drift_line_stride: 1,
+            read_mix: [1.0, 0.0, 0.0, 0.0],
+            write_mix: [1.0, 0.0, 0.0, 0.0],
+            drift_cold_read_frac: 0.0,
+            ancient_lines: 2 * 1024,
+            serial_chase: false,
+            code_bytes: 16 << 10,
+            branch_flip_frac: 0.05,
+            seed,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a mix references a component with zero size, or when
+    /// fractions exceed 1.
+    pub fn validate(&self) {
+        assert!(
+            self.load_frac + self.store_frac + self.branch_frac <= 1.0,
+            "{}: op fractions exceed 1",
+            self.name
+        );
+        let sized = [
+            self.hot_bytes,
+            self.stream_bytes,
+            self.chase_bytes,
+            self.drift_region_bytes,
+        ];
+        for (mix, what) in [(&self.read_mix, "read"), (&self.write_mix, "write")] {
+            for (i, w) in mix.iter().enumerate() {
+                assert!(
+                    *w == 0.0 || sized[i] > 0,
+                    "{}: {} mix references empty component {}",
+                    self.name,
+                    what,
+                    i
+                );
+            }
+            assert!(mix.iter().sum::<f64>() > 0.0, "{}: empty {} mix", self.name, what);
+        }
+        if self.drift_region_bytes > 0 {
+            assert!(
+                self.drift_window_bytes > 0
+                    && self.drift_window_bytes <= self.drift_region_bytes,
+                "{}: drift window must fit the region",
+                self.name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_profile_validates() {
+        SpecProfile::base("x", 1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "references empty component")]
+    fn mix_into_empty_component_panics() {
+        let mut p = SpecProfile::base("x", 1);
+        p.read_mix = [0.0, 1.0, 0.0, 0.0]; // stream weight but no stream
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn overfull_mix_panics() {
+        let mut p = SpecProfile::base("x", 1);
+        p.load_frac = 0.9;
+        p.store_frac = 0.2;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "window must fit")]
+    fn oversized_drift_window_panics() {
+        let mut p = SpecProfile::base("x", 1);
+        p.drift_region_bytes = 1 << 20;
+        p.drift_window_bytes = 2 << 20;
+        p.validate();
+    }
+}

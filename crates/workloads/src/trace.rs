@@ -1,0 +1,285 @@
+//! Trace record and replay.
+//!
+//! A [`TraceRecorder`] tees the ops flowing out of any workload into a
+//! buffer that can be saved to a compact binary file; a [`TracePlayer`]
+//! replays a saved (or captured) trace as a workload. This supports
+//! exactly-reproducible cross-configuration comparisons: every machine
+//! sees the same dynamic stream, like trace-driven SimpleScalar runs.
+
+use padlock_cpu::{MicroOp, OpClass, Workload};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PTRC";
+
+fn encode_op(op: &MicroOp, out: &mut Vec<u8>) {
+    let (kind, addr, taken): (u8, u64, u8) = match op.class {
+        OpClass::IntAlu => (0, 0, 0),
+        OpClass::IntMul => (1, 0, 0),
+        OpClass::FpAlu => (2, 0, 0),
+        OpClass::FpMul => (3, 0, 0),
+        OpClass::Load(a) => (4, a, 0),
+        OpClass::Store(a) => (5, a, 0),
+        OpClass::Branch { taken } => (6, 0, u8::from(taken)),
+    };
+    out.push(kind);
+    out.push(taken);
+    out.extend_from_slice(&op.pc.to_le_bytes());
+    out.extend_from_slice(&addr.to_le_bytes());
+    out.extend_from_slice(&op.dep1.to_le_bytes());
+    out.extend_from_slice(&op.dep2.to_le_bytes());
+}
+
+fn decode_op(buf: &[u8]) -> MicroOp {
+    let kind = buf[0];
+    let taken = buf[1] != 0;
+    let pc = u64::from_le_bytes(buf[2..10].try_into().expect("pc"));
+    let addr = u64::from_le_bytes(buf[10..18].try_into().expect("addr"));
+    let dep1 = u16::from_le_bytes(buf[18..20].try_into().expect("dep1"));
+    let dep2 = u16::from_le_bytes(buf[20..22].try_into().expect("dep2"));
+    let class = match kind {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::FpAlu,
+        3 => OpClass::FpMul,
+        4 => OpClass::Load(addr),
+        5 => OpClass::Store(addr),
+        _ => OpClass::Branch { taken },
+    };
+    MicroOp::new(pc, class).with_deps(dep1, dep2)
+}
+
+const OP_BYTES: usize = 22;
+
+/// Records the ops produced by an inner workload.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_cpu::{StrideWorkload, Workload};
+/// use padlock_workloads::{TracePlayer, TraceRecorder};
+///
+/// let mut rec = TraceRecorder::new(StrideWorkload::new(4096, 64, 0.2));
+/// for _ in 0..100 { rec.next_op(); }
+/// let trace = rec.into_trace();
+/// let mut replay = TracePlayer::new("replay", trace);
+/// let _ = replay.next_op();
+/// ```
+#[derive(Debug)]
+pub struct TraceRecorder<W> {
+    inner: W,
+    ops: Vec<MicroOp>,
+}
+
+impl<W: Workload> TraceRecorder<W> {
+    /// Wraps `inner`, recording everything it produces.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Ops recorded so far.
+    pub fn recorded(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Consumes the recorder, returning the captured trace.
+    pub fn into_trace(self) -> Vec<MicroOp> {
+        self.ops
+    }
+
+    /// Serialises the captured trace to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save<Wr: Write>(&self, mut writer: Wr) -> io::Result<()> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&(self.ops.len() as u64).to_le_bytes())?;
+        let mut buf = Vec::with_capacity(self.ops.len() * OP_BYTES);
+        for op in &self.ops {
+            encode_op(op, &mut buf);
+        }
+        writer.write_all(&buf)
+    }
+}
+
+impl<W: Workload> Workload for TraceRecorder<W> {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.inner.next_op();
+        self.ops.push(op);
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Replays a captured trace, looping at the end.
+#[derive(Debug, Clone)]
+pub struct TracePlayer {
+    name: String,
+    ops: Vec<MicroOp>,
+    cursor: usize,
+}
+
+impl TracePlayer {
+    /// Creates a player over an in-memory trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    pub fn new(name: impl Into<String>, ops: Vec<MicroOp>) -> Self {
+        assert!(!ops.is_empty(), "trace must not be empty");
+        Self {
+            name: name.into(),
+            ops,
+            cursor: 0,
+        }
+    }
+
+    /// Deserialises a trace from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for bad magic or truncated payloads, and
+    /// propagates reader errors.
+    pub fn load<R: Read>(name: impl Into<String>, mut reader: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a padlock trace (bad magic)",
+            ));
+        }
+        let mut count_buf = [0u8; 8];
+        reader.read_exact(&mut count_buf)?;
+        let count = u64::from_le_bytes(count_buf) as usize;
+        if count == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace contains no ops",
+            ));
+        }
+        let mut payload = vec![0u8; count * OP_BYTES];
+        reader.read_exact(&mut payload)?;
+        let ops = payload.chunks_exact(OP_BYTES).map(decode_op).collect();
+        Ok(Self::new(name, ops))
+    }
+
+    /// Number of ops in one pass of the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl Workload for TracePlayer {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.ops[self.cursor];
+        self.cursor = (self.cursor + 1) % self.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{benchmark_profile, SpecWorkload};
+
+    #[test]
+    fn recorder_is_transparent() {
+        let mut raw = SpecWorkload::new(benchmark_profile("gzip"));
+        let mut rec = TraceRecorder::new(SpecWorkload::new(benchmark_profile("gzip")));
+        for _ in 0..1000 {
+            assert_eq!(raw.next_op(), rec.next_op());
+        }
+        assert_eq!(rec.recorded().len(), 1000);
+        assert_eq!(rec.name(), "gzip");
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_every_op() {
+        let mut rec = TraceRecorder::new(SpecWorkload::new(benchmark_profile("mcf")));
+        for _ in 0..500 {
+            rec.next_op();
+        }
+        let original = rec.recorded().to_vec();
+        let mut bytes = Vec::new();
+        rec.save(&mut bytes).unwrap();
+        let mut player = TracePlayer::load("mcf-trace", &bytes[..]).unwrap();
+        for op in &original {
+            assert_eq!(player.next_op(), *op);
+        }
+    }
+
+    #[test]
+    fn player_loops_at_the_end() {
+        let ops = vec![
+            MicroOp::new(4, OpClass::IntAlu),
+            MicroOp::new(8, OpClass::Load(0x40)),
+        ];
+        let mut p = TracePlayer::new("t", ops.clone());
+        assert_eq!(p.next_op(), ops[0]);
+        assert_eq!(p.next_op(), ops[1]);
+        assert_eq!(p.next_op(), ops[0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = TracePlayer::load("x", &b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let mut rec = TraceRecorder::new(SpecWorkload::new(benchmark_profile("art")));
+        for _ in 0..10 {
+            rec.next_op();
+        }
+        let mut bytes = Vec::new();
+        rec.save(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(TracePlayer::load("x", &bytes[..]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_trace_panics() {
+        let _ = TracePlayer::new("x", Vec::new());
+    }
+
+    #[test]
+    fn every_op_class_roundtrips() {
+        let ops = vec![
+            MicroOp::new(4, OpClass::IntAlu).with_deps(1, 2),
+            MicroOp::new(8, OpClass::IntMul),
+            MicroOp::new(12, OpClass::FpAlu),
+            MicroOp::new(16, OpClass::FpMul),
+            MicroOp::new(20, OpClass::Load(0xABCD)).with_deps(3, 0),
+            MicroOp::new(24, OpClass::Store(0x1234)),
+            MicroOp::new(28, OpClass::Branch { taken: true }),
+            MicroOp::new(32, OpClass::Branch { taken: false }),
+        ];
+        let mut buf = Vec::new();
+        for op in &ops {
+            encode_op(op, &mut buf);
+        }
+        for (i, chunk) in buf.chunks_exact(OP_BYTES).enumerate() {
+            assert_eq!(decode_op(chunk), ops[i]);
+        }
+    }
+}

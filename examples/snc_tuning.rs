@@ -1,0 +1,87 @@
+//! Sweep the Sequence Number Cache design space on one workload:
+//! capacity (Fig. 6), organisation (Fig. 7), and management policy
+//! (Fig. 5), printing the slowdown each design costs over the insecure
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example snc_tuning
+//! ```
+
+use padlock_core::{
+    Machine, MachineConfig, SecurityMode, SncConfig, SncOrganization, SncPolicy,
+};
+use padlock_stats::{Align, Table};
+use padlock_workloads::{benchmark_profile, SpecWorkload};
+
+const WARMUP: u64 = 200_000;
+const MEASURE: u64 = 600_000;
+const BENCH: &str = "mcf";
+
+fn cycles(mode: SecurityMode) -> u64 {
+    let mut machine = Machine::new(MachineConfig::paper(mode));
+    let mut workload = SpecWorkload::new(benchmark_profile(BENCH));
+    // Model a long-running process (the paper fast-forwards 10B
+    // instructions): an ancient heap plus any actively rewritten region.
+    let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
+    let active: Vec<u64> = workload.active_line_addrs().collect();
+    machine
+        .core_mut()
+        .hierarchy_mut()
+        .backend_mut()
+        .pre_age(ancient, active);
+    machine.run(&mut workload, WARMUP, MEASURE).stats.cycles
+}
+
+fn main() {
+    println!("SNC design sweep on the {BENCH}-like workload\n");
+    let base = cycles(SecurityMode::Insecure);
+    let xom = cycles(SecurityMode::Xom);
+
+    let mut table = Table::new(vec![
+        "design".into(),
+        "capacity".into(),
+        "organisation".into(),
+        "policy".into(),
+        "slowdown %".into(),
+    ]);
+    table.set_align(4, Align::Right);
+    let pct = |c: u64| format!("{:.2}", (c as f64 / base as f64 - 1.0) * 100.0);
+
+    table.push_row(vec![
+        "XOM (no SNC)".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        pct(xom),
+    ]);
+
+    let designs = [
+        (32, SncOrganization::FullyAssociative, SncPolicy::Lru),
+        (64, SncOrganization::FullyAssociative, SncPolicy::Lru),
+        (128, SncOrganization::FullyAssociative, SncPolicy::Lru),
+        (64, SncOrganization::SetAssociative(32), SncPolicy::Lru),
+        (64, SncOrganization::FullyAssociative, SncPolicy::NoReplacement),
+    ];
+    for (kb, org, policy) in designs {
+        let snc = SncConfig::paper_default()
+            .with_capacity(kb * 1024)
+            .with_organization(org)
+            .with_policy(policy);
+        let c = cycles(SecurityMode::Otp { snc });
+        table.push_row(vec![
+            "OTP + SNC".into(),
+            format!("{kb}KB"),
+            org.to_string(),
+            policy.to_string(),
+            pct(c),
+        ]);
+    }
+
+    println!("{table}");
+    println!(
+        "The paper's recommendation falls out of the sweep: a 64KB LRU\n\
+         SNC recovers nearly all of XOM's loss, 128KB buys little more,\n\
+         and 32-way set associativity is almost as good as fully\n\
+         associative at lower implementation cost."
+    );
+}

@@ -1,0 +1,49 @@
+//! `padlock` — a reproduction of *Fast Secure Processor for Inhibiting
+//! Software Piracy and Tampering* (Yang, Zhang, Gao; MICRO-36, 2003).
+//!
+//! The paper's contribution is one-time-pad (counter-mode) memory
+//! encryption with an on-chip Sequence Number Cache, which moves the
+//! decryption of off-chip memory traffic *off* the L2-miss critical path:
+//! `max(mem, crypto) + 1` cycles instead of XOM's `mem + crypto`.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * `core` — the secure memory controller (baseline /
+//!   XOM / OTP+SNC), the SNC, the functional encrypted memory, vendor
+//!   packaging, compartments;
+//! * `cpu` — the 4-issue out-of-order timing model and
+//!   cache hierarchy;
+//! * `crypto` — DES, 3DES, AES-128, SHA-256, CBC-MAC,
+//!   toy RSA, the one-time-pad engine;
+//! * `workloads` — the 11 calibrated SPEC2000-like
+//!   generators;
+//! * `isa` — a tiny RISC ISA + VM executing through the
+//!   secure memory;
+//! * `cache`, `mem`, `stats`, `area` — substrates.
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock::core::{Machine, MachineConfig, SecurityMode};
+//! use padlock::cpu::StrideWorkload;
+//!
+//! let mut machine = Machine::new(MachineConfig::paper(SecurityMode::Xom));
+//! let m = machine.run(&mut StrideWorkload::new(1 << 20, 128, 0.2), 1_000, 3_000);
+//! assert_eq!(m.label, "XOM");
+//! ```
+//!
+//! See `examples/` for runnable end-to-end demonstrations and
+//! `crates/bench` for the harness that regenerates every figure of the
+//! paper.
+
+#![warn(missing_docs)]
+
+pub use padlock_area as area;
+pub use padlock_cache as cache;
+pub use padlock_core as core;
+pub use padlock_cpu as cpu;
+pub use padlock_crypto as crypto;
+pub use padlock_isa as isa;
+pub use padlock_mem as mem;
+pub use padlock_stats as stats;
+pub use padlock_workloads as workloads;
