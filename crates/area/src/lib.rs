@@ -47,7 +47,7 @@ impl CacheGeometry {
     pub fn new(size_bytes: usize, line_bytes: usize, ways: usize, address_bits: usize) -> Self {
         assert!(size_bytes > 0 && line_bytes > 0 && ways > 0, "sizes must be positive");
         assert!(
-            size_bytes % (line_bytes * ways) == 0,
+            size_bytes.is_multiple_of(line_bytes * ways),
             "capacity must divide into ways of whole lines"
         );
         Self {

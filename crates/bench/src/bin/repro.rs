@@ -14,6 +14,13 @@ struct Args {
     figure: Option<u32>,
     scale: RunScale,
     csv_dir: Option<PathBuf>,
+    calibrate: bool,
+    snc: bool,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message} (try --help)");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
@@ -21,34 +28,45 @@ fn parse_args() -> Args {
         figure: None,
         scale: RunScale::Full,
         csv_dir: None,
+        calibrate: false,
+        snc: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--figure" | "-f" => {
-                let v = iter.next().expect("--figure needs a number");
-                args.figure = Some(v.parse().expect("figure number"));
+                let v = iter.next().unwrap_or_else(|| usage_error("--figure needs a number"));
+                args.figure = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_error(&format!("--figure expects a number, got {v:?}"))),
+                );
             }
             "--quick" => args.scale = RunScale::Quick,
             "--smoke" => args.scale = RunScale::Smoke,
             "--csv" => {
-                let v = iter.next().expect("--csv needs a directory");
+                let v = iter.next().unwrap_or_else(|| usage_error("--csv needs a directory"));
                 args.csv_dir = Some(PathBuf::from(v));
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR]\n\
+                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--calibrate [--snc]]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
-                     Inhibiting Software Piracy and Tampering' (MICRO-36, 2003)."
+                     Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
+                     --calibrate prints per-benchmark CPI/miss diagnostics instead;\n\
+                     add --snc for SNC hit/miss/spill rates."
                 );
                 std::process::exit(0);
             }
-            "--calibrate" | "--snc" => {}
+            "--calibrate" => args.calibrate = true,
+            "--snc" => args.snc = true,
             other => {
                 eprintln!("unknown argument {other:?} (try --help)");
                 std::process::exit(2);
             }
         }
+    }
+    if args.snc && !args.calibrate {
+        usage_error("--snc requires --calibrate");
     }
     args
 }
@@ -97,9 +115,9 @@ fn snc_diag(lab: &mut Lab, kind: padlock_bench::MachineKind) {
 fn main() {
     let args = parse_args();
     let mut lab = Lab::new(args.scale);
-    if std::env::args().any(|a| a == "--calibrate") {
+    if args.calibrate {
         calibrate(&mut lab);
-        if std::env::args().any(|a| a == "--snc") {
+        if args.snc {
             snc_diag(&mut lab, padlock_bench::MachineKind::LruFull(32));
             snc_diag(&mut lab, padlock_bench::MachineKind::LruFull(64));
         }

@@ -63,7 +63,7 @@ impl CacheConfig {
             "line size must be a power of two"
         );
         assert!(
-            size_bytes % (line_bytes * ways) == 0,
+            size_bytes.is_multiple_of(line_bytes * ways),
             "size must divide evenly into sets"
         );
         let sets = size_bytes / (line_bytes * ways);

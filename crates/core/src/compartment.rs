@@ -13,6 +13,13 @@ use padlock_crypto::{CbcMac, CipherKind, OneTimePad};
 use std::collections::HashMap;
 use std::fmt;
 
+/// Per-compartment encryption and authentication engines, derived from
+/// one compartment key.
+type CompartmentCrypto = (
+    OneTimePad<Box<dyn padlock_crypto::BlockCipher>>,
+    CbcMac<Box<dyn padlock_crypto::BlockCipher>>,
+);
+
 /// A compartment identifier; `XomId(0)` is the untrusted/shared domain
 /// (the OS).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -223,7 +230,7 @@ impl CompartmentManager {
         }
     }
 
-    fn crypto_for(&self, id: XomId) -> Result<(OneTimePad<Box<dyn padlock_crypto::BlockCipher>>, CbcMac<Box<dyn padlock_crypto::BlockCipher>>), CompartmentError> {
+    fn crypto_for(&self, id: XomId) -> Result<CompartmentCrypto, CompartmentError> {
         let key = self
             .keys
             .get(&id)

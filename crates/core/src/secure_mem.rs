@@ -166,7 +166,7 @@ impl SecureMemory {
         integrity: IntegrityMode,
     ) -> Self {
         assert!(
-            line_bytes > 0 && line_bytes % cipher.block_size() == 0,
+            line_bytes > 0 && line_bytes.is_multiple_of(cipher.block_size()),
             "line must be whole cipher blocks"
         );
         // Derive a distinct MAC key so pad and MAC streams never share
@@ -225,7 +225,7 @@ impl SecureMemory {
     }
 
     fn check_aligned(&self, addr: u64) -> Result<(), SecureMemoryError> {
-        if addr % self.line_bytes as u64 != 0 {
+        if !addr.is_multiple_of(self.line_bytes as u64) {
             Err(SecureMemoryError::Misaligned { addr })
         } else {
             Ok(())
@@ -613,7 +613,7 @@ mod tests {
     fn misaligned_line_ops_error() {
         let mut m = sm(IntegrityMode::None);
         assert_eq!(
-            m.write_line(0x4_0001, &vec![0u8; 128]).unwrap_err(),
+            m.write_line(0x4_0001, &[0u8; 128]).unwrap_err(),
             SecureMemoryError::Misaligned { addr: 0x4_0001 }
         );
         assert!(matches!(

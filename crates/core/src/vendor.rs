@@ -51,7 +51,7 @@ impl ProcessorIdentity {
 
     /// The public key a vendor targets.
     pub fn public_key(&self) -> &PublicKey {
-        &self.keypair.public()
+        self.keypair.public()
     }
 
     fn unwrap_key(&self, wrapped: &[u8]) -> Result<Vec<u8>, RsaError> {

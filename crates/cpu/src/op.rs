@@ -186,10 +186,10 @@ impl Workload for StrideWorkload {
         } else {
             u64::MAX
         };
-        let class = if self.count % period == 0 {
+        let class = if self.count.is_multiple_of(period) {
             self.cursor = (self.cursor + self.stride) % self.working_set;
             let addr = 0x10_0000 + self.cursor;
-            if self.count % (5 * period) == 0 {
+            if self.count.is_multiple_of(5 * period) {
                 OpClass::Store(addr)
             } else {
                 OpClass::Load(addr)

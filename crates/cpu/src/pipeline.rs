@@ -515,9 +515,9 @@ mod tests {
         impl Workload for Alt {
             fn next_op(&mut self) -> MicroOp {
                 self.i += 1;
-                if self.i % 4 == 0 {
+                if self.i.is_multiple_of(4) {
                     MicroOp::new(0x2000, OpClass::Branch {
-                        taken: (self.i / 4) % self.every == 0,
+                        taken: (self.i / 4).is_multiple_of(self.every),
                     })
                 } else {
                     MicroOp::new(0x1000 + (self.i % 4) * 4, OpClass::IntAlu)

@@ -50,7 +50,7 @@ fn gf_inv(a: u8) -> u8 {
 fn build_sboxes() -> ([u8; 256], [u8; 256]) {
     let mut sbox = [0u8; 256];
     let mut inv = [0u8; 256];
-    for x in 0..256usize {
+    for (x, slot) in sbox.iter_mut().enumerate() {
         let b = gf_inv(x as u8);
         // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
         let s = b
@@ -59,7 +59,7 @@ fn build_sboxes() -> ([u8; 256], [u8; 256]) {
             ^ b.rotate_left(3)
             ^ b.rotate_left(4)
             ^ 0x63;
-        sbox[x] = s;
+        *slot = s;
         inv[s as usize] = x as u8;
     }
     (sbox, inv)

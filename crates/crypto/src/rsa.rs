@@ -255,9 +255,9 @@ mod tests {
             Err(RsaError::MessageTooLarge) => a.public().encrypt(b"Ks8byte", &mut rng).unwrap(),
             Err(e) => panic!("unexpected: {e}"),
         };
-        match b.private().decrypt(&ct) {
-            Ok(pt) => assert_ne!(&pt[..], b"Ks8byte"),
-            Err(_) => {} // rejection is also acceptable
+        // Outright rejection is also acceptable, hence no assertion on Err.
+        if let Ok(pt) = b.private().decrypt(&ct) {
+            assert_ne!(&pt[..], b"Ks8byte");
         }
     }
 

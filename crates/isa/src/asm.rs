@@ -121,7 +121,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     for (i, raw) in source.lines().enumerate() {
         let line_no = i + 1;
         let mut text = raw;
-        if let Some(p) = text.find(|c| c == ';' || c == '#') {
+        if let Some(p) = text.find([';', '#']) {
             text = &text[..p];
         }
         let mut text = text.trim();

@@ -127,12 +127,16 @@ impl SpecProfile {
                     i
                 );
             }
-            assert!(mix.iter().sum::<f64>() > 0.0, "{}: empty {} mix", self.name, what);
+            assert!(
+                mix.iter().sum::<f64>() > 0.0,
+                "{}: empty {} mix",
+                self.name,
+                what
+            );
         }
         if self.drift_region_bytes > 0 {
             assert!(
-                self.drift_window_bytes > 0
-                    && self.drift_window_bytes <= self.drift_region_bytes,
+                self.drift_window_bytes > 0 && self.drift_window_bytes <= self.drift_region_bytes,
                 "{}: drift window must fit the region",
                 self.name
             );

@@ -364,295 +364,272 @@ pub fn spec2000_suite() -> Vec<SpecWorkload> {
 ///
 /// Panics for names outside [`BENCHMARK_NAMES`].
 pub fn benchmark_profile(name: &str) -> SpecProfile {
-    let p;
-    match name {
+    let p = match name {
         // FP molecular dynamics: pointer-ish reads plus a written region just
         // above SNC coverage (associativity-sensitive, Fig. 7).
-        "ammp" => {
-            p = SpecProfile {
-                name: "ammp",
-                load_frac: 0.26,
-                store_frac: 0.09,
-                branch_frac: 0.12,
-                fp_frac: 0.3,
-                hot_bytes: 80 << 10,
-                stream_bytes: 0,
-                chase_bytes: 4 << 20,
-                drift_region_bytes: 32 << 20,
-                drift_window_bytes: 1280 << 10,
-                drift_advance_every: 2,
-                drift_line_stride: 4,
-                read_mix: [0.9705, 0.0, 0.023, 0.0065],
-                write_mix: [0.55, 0.0, 0.0, 0.45],
-                ancient_lines: 96 * 1024,
-                drift_cold_read_frac: 0.25,
-                serial_chase: false,
-                code_bytes: 32 << 10,
-                branch_flip_frac: 0.06,
-                seed: 0xa301,
-            }
-        }
+        "ammp" => SpecProfile {
+            name: "ammp",
+            load_frac: 0.26,
+            store_frac: 0.09,
+            branch_frac: 0.12,
+            fp_frac: 0.3,
+            hot_bytes: 80 << 10,
+            stream_bytes: 0,
+            chase_bytes: 4 << 20,
+            drift_region_bytes: 32 << 20,
+            drift_window_bytes: 1280 << 10,
+            drift_advance_every: 2,
+            drift_line_stride: 4,
+            read_mix: [0.9705, 0.0, 0.023, 0.0065],
+            write_mix: [0.55, 0.0, 0.0, 0.45],
+            ancient_lines: 96 * 1024,
+            drift_cold_read_frac: 0.25,
+            serial_chase: false,
+            code_bytes: 32 << 10,
+            branch_flip_frac: 0.06,
+            seed: 0xa301,
+        },
         // FP image recognition: pure streaming over big read-only arrays,
         // tiny write set.
-        "art" => {
-            p = SpecProfile {
-                name: "art",
-                load_frac: 0.32,
-                store_frac: 0.06,
-                branch_frac: 0.1,
-                fp_frac: 0.35,
-                hot_bytes: 64 << 10,
-                stream_bytes: 8 << 20,
-                chase_bytes: 0,
-                drift_region_bytes: 0,
-                drift_window_bytes: 0,
-                drift_advance_every: 8,
-                drift_line_stride: 1,
-                read_mix: [0.02, 0.98, 0.0, 0.0],
-                write_mix: [1.0, 0.0, 0.0, 0.0],
-                ancient_lines: 2 * 1024,
-                drift_cold_read_frac: 0.0,
-                serial_chase: false,
-                code_bytes: 16 << 10,
-                branch_flip_frac: 0.03,
-                seed: 0xa302,
-            }
-        }
+        "art" => SpecProfile {
+            name: "art",
+            load_frac: 0.32,
+            store_frac: 0.06,
+            branch_frac: 0.1,
+            fp_frac: 0.35,
+            hot_bytes: 64 << 10,
+            stream_bytes: 8 << 20,
+            chase_bytes: 0,
+            drift_region_bytes: 0,
+            drift_window_bytes: 0,
+            drift_advance_every: 8,
+            drift_line_stride: 1,
+            read_mix: [0.02, 0.98, 0.0, 0.0],
+            write_mix: [1.0, 0.0, 0.0, 0.0],
+            ancient_lines: 2 * 1024,
+            drift_cold_read_frac: 0.0,
+            serial_chase: false,
+            code_bytes: 16 << 10,
+            branch_flip_frac: 0.03,
+            seed: 0xa302,
+        },
         // Compression: moderate streaming, written set well inside SNC
         // coverage.
-        "bzip2" => {
-            p = SpecProfile {
-                name: "bzip2",
-                load_frac: 0.26,
-                store_frac: 0.11,
-                branch_frac: 0.13,
-                fp_frac: 0.0,
-                hot_bytes: 128 << 10,
-                stream_bytes: 4 << 20,
-                chase_bytes: 0,
-                drift_region_bytes: 1792 << 10,
-                drift_window_bytes: 1792 << 10,
-                drift_advance_every: 1,
-                drift_line_stride: 1,
-                read_mix: [0.928, 0.06, 0.0, 0.012],
-                write_mix: [0.5, 0.0, 0.0, 0.5],
-                ancient_lines: 4 * 1024,
-                drift_cold_read_frac: 0.1,
-                serial_chase: false,
-                code_bytes: 32 << 10,
-                branch_flip_frac: 0.1,
-                seed: 0xa303,
-            }
-        }
+        "bzip2" => SpecProfile {
+            name: "bzip2",
+            load_frac: 0.26,
+            store_frac: 0.11,
+            branch_frac: 0.13,
+            fp_frac: 0.0,
+            hot_bytes: 128 << 10,
+            stream_bytes: 4 << 20,
+            chase_bytes: 0,
+            drift_region_bytes: 1792 << 10,
+            drift_window_bytes: 1792 << 10,
+            drift_advance_every: 1,
+            drift_line_stride: 1,
+            read_mix: [0.928, 0.06, 0.0, 0.012],
+            write_mix: [0.5, 0.0, 0.0, 0.5],
+            ancient_lines: 4 * 1024,
+            drift_cold_read_frac: 0.1,
+            serial_chase: false,
+            code_bytes: 32 << 10,
+            branch_flip_frac: 0.1,
+            seed: 0xa303,
+        },
         // FP earthquake simulation: streaming reads; ~3MB written set that a
         // 64KB SNC covers but a 32KB one thrashes (Fig. 6).
-        "equake" => {
-            p = SpecProfile {
-                name: "equake",
-                load_frac: 0.28,
-                store_frac: 0.1,
-                branch_frac: 0.12,
-                fp_frac: 0.35,
-                hot_bytes: 64 << 10,
-                stream_bytes: 8 << 20,
-                chase_bytes: 0,
-                drift_region_bytes: 2560 << 10,
-                drift_window_bytes: 2560 << 10,
-                drift_advance_every: 1,
-                drift_line_stride: 1,
-                read_mix: [0.9085, 0.085, 0.0, 0.0065],
-                write_mix: [0.3, 0.0, 0.0, 0.7],
-                ancient_lines: 4 * 1024,
-                drift_cold_read_frac: 0.0,
-                serial_chase: false,
-                code_bytes: 32 << 10,
-                branch_flip_frac: 0.04,
-                seed: 0xa304,
-            }
-        }
+        "equake" => SpecProfile {
+            name: "equake",
+            load_frac: 0.28,
+            store_frac: 0.1,
+            branch_frac: 0.12,
+            fp_frac: 0.35,
+            hot_bytes: 64 << 10,
+            stream_bytes: 8 << 20,
+            chase_bytes: 0,
+            drift_region_bytes: 2560 << 10,
+            drift_window_bytes: 2560 << 10,
+            drift_advance_every: 1,
+            drift_line_stride: 1,
+            read_mix: [0.9085, 0.085, 0.0, 0.0065],
+            write_mix: [0.3, 0.0, 0.0, 0.7],
+            ancient_lines: 4 * 1024,
+            drift_cold_read_frac: 0.0,
+            serial_chase: false,
+            code_bytes: 32 << 10,
+            branch_flip_frac: 0.04,
+            seed: 0xa304,
+        },
         // Compiler: a drifting allocation front over a huge footprint - early
         // lines hog a no-replacement SNC (the paper's gcc observation)
         // while LRU tracks the fresh window.
-        "gcc" => {
-            p = SpecProfile {
-                name: "gcc",
-                load_frac: 0.25,
-                store_frac: 0.13,
-                branch_frac: 0.16,
-                fp_frac: 0.0,
-                hot_bytes: 160 << 10,
-                stream_bytes: 0,
-                chase_bytes: 0,
-                drift_region_bytes: 24 << 20,
-                drift_window_bytes: 512 << 10,
-                drift_advance_every: 1,
-                drift_line_stride: 1,
-                read_mix: [0.973, 0.0, 0.0, 0.027],
-                write_mix: [0.15, 0.0, 0.0, 0.85],
-                ancient_lines: 96 * 1024,
-                drift_cold_read_frac: 0.025,
-                serial_chase: false,
-                code_bytes: 64 << 10,
-                branch_flip_frac: 0.12,
-                seed: 0xa305,
-            }
-        }
+        "gcc" => SpecProfile {
+            name: "gcc",
+            load_frac: 0.25,
+            store_frac: 0.13,
+            branch_frac: 0.16,
+            fp_frac: 0.0,
+            hot_bytes: 160 << 10,
+            stream_bytes: 0,
+            chase_bytes: 0,
+            drift_region_bytes: 24 << 20,
+            drift_window_bytes: 512 << 10,
+            drift_advance_every: 1,
+            drift_line_stride: 1,
+            read_mix: [0.973, 0.0, 0.0, 0.027],
+            write_mix: [0.15, 0.0, 0.0, 0.85],
+            ancient_lines: 96 * 1024,
+            drift_cold_read_frac: 0.025,
+            serial_chase: false,
+            code_bytes: 64 << 10,
+            branch_flip_frac: 0.12,
+            seed: 0xa305,
+        },
         // Compression with a small dictionary: nearly cache-resident.
-        "gzip" => {
-            p = SpecProfile {
-                name: "gzip",
-                load_frac: 0.22,
-                store_frac: 0.1,
-                branch_frac: 0.14,
-                fp_frac: 0.0,
-                hot_bytes: 96 << 10,
-                stream_bytes: 512 << 10,
-                chase_bytes: 0,
-                drift_region_bytes: 8 << 20,
-                drift_window_bytes: 512 << 10,
-                drift_advance_every: 4,
-                drift_line_stride: 1,
-                read_mix: [0.9915, 0.008, 0.0, 0.0005],
-                write_mix: [0.65, 0.0, 0.0, 0.35],
-                ancient_lines: 96 * 1024,
-                drift_cold_read_frac: 0.15,
-                serial_chase: false,
-                code_bytes: 16 << 10,
-                branch_flip_frac: 0.08,
-                seed: 0xa306,
-            }
-        }
+        "gzip" => SpecProfile {
+            name: "gzip",
+            load_frac: 0.22,
+            store_frac: 0.1,
+            branch_frac: 0.14,
+            fp_frac: 0.0,
+            hot_bytes: 96 << 10,
+            stream_bytes: 512 << 10,
+            chase_bytes: 0,
+            drift_region_bytes: 8 << 20,
+            drift_window_bytes: 512 << 10,
+            drift_advance_every: 4,
+            drift_line_stride: 1,
+            read_mix: [0.9915, 0.008, 0.0, 0.0005],
+            write_mix: [0.65, 0.0, 0.0, 0.35],
+            ancient_lines: 96 * 1024,
+            drift_cold_read_frac: 0.15,
+            serial_chase: false,
+            code_bytes: 16 << 10,
+            branch_flip_frac: 0.08,
+            seed: 0xa306,
+        },
         // Network-flow solver: serial pointer chasing over a huge read-mostly
         // graph plus writes far beyond SNC coverage.
-        "mcf" => {
-            p = SpecProfile {
-                name: "mcf",
-                load_frac: 0.32,
-                store_frac: 0.08,
-                branch_frac: 0.15,
-                fp_frac: 0.0,
-                hot_bytes: 64 << 10,
-                stream_bytes: 0,
-                chase_bytes: 20 << 20,
-                drift_region_bytes: 16 << 20,
-                drift_window_bytes: 2 << 20,
-                drift_advance_every: 2,
-                drift_line_stride: 1,
-                read_mix: [0.926, 0.0, 0.041, 0.033],
-                write_mix: [0.2, 0.0, 0.0, 0.8],
-                ancient_lines: 96 * 1024,
-                drift_cold_read_frac: 0.1,
-                serial_chase: true,
-                code_bytes: 16 << 10,
-                branch_flip_frac: 0.15,
-                seed: 0xa307,
-            }
-        }
+        "mcf" => SpecProfile {
+            name: "mcf",
+            load_frac: 0.32,
+            store_frac: 0.08,
+            branch_frac: 0.15,
+            fp_frac: 0.0,
+            hot_bytes: 64 << 10,
+            stream_bytes: 0,
+            chase_bytes: 20 << 20,
+            drift_region_bytes: 16 << 20,
+            drift_window_bytes: 2 << 20,
+            drift_advance_every: 2,
+            drift_line_stride: 1,
+            read_mix: [0.926, 0.0, 0.041, 0.033],
+            write_mix: [0.2, 0.0, 0.0, 0.8],
+            ancient_lines: 96 * 1024,
+            drift_cold_read_frac: 0.1,
+            serial_chase: true,
+            code_bytes: 16 << 10,
+            branch_flip_frac: 0.15,
+            seed: 0xa307,
+        },
         // FP graphics: compute-bound, cache-resident.
-        "mesa" => {
-            p = SpecProfile {
-                name: "mesa",
-                load_frac: 0.2,
-                store_frac: 0.09,
-                branch_frac: 0.12,
-                fp_frac: 0.4,
-                hot_bytes: 200 << 10,
-                stream_bytes: 0,
-                chase_bytes: 0,
-                drift_region_bytes: 0,
-                drift_window_bytes: 0,
-                drift_advance_every: 8,
-                drift_line_stride: 1,
-                read_mix: [1.0, 0.0, 0.0, 0.0],
-                write_mix: [1.0, 0.0, 0.0, 0.0],
-                ancient_lines: 2 * 1024,
-                drift_cold_read_frac: 0.0,
-                serial_chase: false,
-                code_bytes: 32 << 10,
-                branch_flip_frac: 0.04,
-                seed: 0xa308,
-            }
-        }
+        "mesa" => SpecProfile {
+            name: "mesa",
+            load_frac: 0.2,
+            store_frac: 0.09,
+            branch_frac: 0.12,
+            fp_frac: 0.4,
+            hot_bytes: 200 << 10,
+            stream_bytes: 0,
+            chase_bytes: 0,
+            drift_region_bytes: 0,
+            drift_window_bytes: 0,
+            drift_advance_every: 8,
+            drift_line_stride: 1,
+            read_mix: [1.0, 0.0, 0.0, 0.0],
+            write_mix: [1.0, 0.0, 0.0, 0.0],
+            ancient_lines: 2 * 1024,
+            drift_cold_read_frac: 0.0,
+            serial_chase: false,
+            code_bytes: 32 << 10,
+            branch_flip_frac: 0.04,
+            seed: 0xa308,
+        },
         // NLP parser: pointer chasing plus a drifting allocation front far
         // beyond SNC coverage.
-        "parser" => {
-            p = SpecProfile {
-                name: "parser",
-                load_frac: 0.27,
-                store_frac: 0.11,
-                branch_frac: 0.16,
-                fp_frac: 0.0,
-                hot_bytes: 128 << 10,
-                stream_bytes: 0,
-                chase_bytes: 4 << 20,
-                drift_region_bytes: 16 << 20,
-                drift_window_bytes: 768 << 10,
-                drift_advance_every: 1,
-                drift_line_stride: 1,
-                read_mix: [0.99, 0.0, 0.003, 0.007],
-                write_mix: [0.3, 0.0, 0.0, 0.7],
-                ancient_lines: 96 * 1024,
-                drift_cold_read_frac: 0.02,
-                serial_chase: false,
-                code_bytes: 64 << 10,
-                branch_flip_frac: 0.12,
-                seed: 0xa309,
-            }
-        }
+        "parser" => SpecProfile {
+            name: "parser",
+            load_frac: 0.27,
+            store_frac: 0.11,
+            branch_frac: 0.16,
+            fp_frac: 0.0,
+            hot_bytes: 128 << 10,
+            stream_bytes: 0,
+            chase_bytes: 4 << 20,
+            drift_region_bytes: 16 << 20,
+            drift_window_bytes: 768 << 10,
+            drift_advance_every: 1,
+            drift_line_stride: 1,
+            read_mix: [0.99, 0.0, 0.003, 0.007],
+            write_mix: [0.3, 0.0, 0.0, 0.7],
+            ancient_lines: 96 * 1024,
+            drift_cold_read_frac: 0.02,
+            serial_chase: false,
+            code_bytes: 64 << 10,
+            branch_flip_frac: 0.12,
+            seed: 0xa309,
+        },
         // OO database: big hot set (gains from the Fig. 8 larger L2), steady
         // writes over a drifting region, large code.
-        "vortex" => {
-            p = SpecProfile {
-                name: "vortex",
-                load_frac: 0.26,
-                store_frac: 0.13,
-                branch_frac: 0.14,
-                fp_frac: 0.0,
-                hot_bytes: 144 << 10,
-                stream_bytes: 0,
-                chase_bytes: 0,
-                drift_region_bytes: 16 << 20,
-                drift_window_bytes: 320 << 10,
-                drift_advance_every: 1,
-                drift_line_stride: 1,
-                read_mix: [0.994, 0.0, 0.0, 0.006],
-                write_mix: [0.5, 0.0, 0.0, 0.5],
-                ancient_lines: 96 * 1024,
-                drift_cold_read_frac: 0.05,
-                serial_chase: false,
-                code_bytes: 64 << 10,
-                branch_flip_frac: 0.08,
-                seed: 0xa30a,
-            }
-        }
+        "vortex" => SpecProfile {
+            name: "vortex",
+            load_frac: 0.26,
+            store_frac: 0.13,
+            branch_frac: 0.14,
+            fp_frac: 0.0,
+            hot_bytes: 144 << 10,
+            stream_bytes: 0,
+            chase_bytes: 0,
+            drift_region_bytes: 16 << 20,
+            drift_window_bytes: 320 << 10,
+            drift_advance_every: 1,
+            drift_line_stride: 1,
+            read_mix: [0.994, 0.0, 0.0, 0.006],
+            write_mix: [0.5, 0.0, 0.0, 0.5],
+            ancient_lines: 96 * 1024,
+            drift_cold_read_frac: 0.05,
+            serial_chase: false,
+            code_bytes: 64 << 10,
+            branch_flip_frac: 0.08,
+            seed: 0xa30a,
+        },
         // FPGA place & route: random reads over a large netlist, tiny write
         // set.
-        "vpr" => {
-            p = SpecProfile {
-                name: "vpr",
-                load_frac: 0.28,
-                store_frac: 0.09,
-                branch_frac: 0.14,
-                fp_frac: 0.15,
-                hot_bytes: 96 << 10,
-                stream_bytes: 0,
-                chase_bytes: 8 << 20,
-                drift_region_bytes: 0,
-                drift_window_bytes: 0,
-                drift_advance_every: 8,
-                drift_line_stride: 1,
-                read_mix: [0.979, 0.0, 0.021, 0.0],
-                write_mix: [1.0, 0.0, 0.0, 0.0],
-                ancient_lines: 2 * 1024,
-                drift_cold_read_frac: 0.0,
-                serial_chase: false,
-                code_bytes: 32 << 10,
-                branch_flip_frac: 0.1,
-                seed: 0xa30b,
-            }
-        }
+        "vpr" => SpecProfile {
+            name: "vpr",
+            load_frac: 0.28,
+            store_frac: 0.09,
+            branch_frac: 0.14,
+            fp_frac: 0.15,
+            hot_bytes: 96 << 10,
+            stream_bytes: 0,
+            chase_bytes: 8 << 20,
+            drift_region_bytes: 0,
+            drift_window_bytes: 0,
+            drift_advance_every: 8,
+            drift_line_stride: 1,
+            read_mix: [0.979, 0.0, 0.021, 0.0],
+            write_mix: [1.0, 0.0, 0.0, 0.0],
+            ancient_lines: 2 * 1024,
+            drift_cold_read_frac: 0.0,
+            serial_chase: false,
+            code_bytes: 32 << 10,
+            branch_flip_frac: 0.1,
+            seed: 0xa30b,
+        },
         other => panic!("unknown benchmark {other:?}"),
-    }
+    };
     p.validate();
     p
 }
@@ -705,7 +682,11 @@ mod tests {
         let n = n as f64;
         assert!((loads / n - lf).abs() < 0.01, "loads {}", loads / n);
         assert!((stores / n - sf).abs() < 0.01, "stores {}", stores / n);
-        assert!((branches / n - bf).abs() < 0.01, "branches {}", branches / n);
+        assert!(
+            (branches / n - bf).abs() < 0.01,
+            "branches {}",
+            branches / n
+        );
     }
 
     #[test]
@@ -716,7 +697,7 @@ mod tests {
         for i in 0..50_000u64 {
             let op = w.next_op();
             if let OpClass::Load(addr) = op.class {
-                if addr >= CHASE_BASE && addr < DRIFT_BASE {
+                if (CHASE_BASE..DRIFT_BASE).contains(&addr) {
                     if let Some(prev) = last_chase_at {
                         // The dependence distance should point at (or
                         // before) the previous chase load.
@@ -727,10 +708,7 @@ mod tests {
             }
         }
         assert!(!chase_deps.is_empty());
-        let matching = chase_deps
-            .iter()
-            .filter(|(gap, dep)| dep == gap)
-            .count();
+        let matching = chase_deps.iter().filter(|(gap, dep)| dep == gap).count();
         assert!(
             matching as f64 / chase_deps.len() as f64 > 0.9,
             "{matching}/{}",

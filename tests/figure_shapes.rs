@@ -3,7 +3,7 @@
 //! run the real experiment harness at its smallest scale, so they guard
 //! the whole reproduction pipeline without taking minutes.
 
-use padlock_bench::{Lab, MachineKind, RunScale};
+use padlock_bench::{Lab, RunScale};
 
 fn lab() -> Lab {
     Lab::new(RunScale::Smoke)

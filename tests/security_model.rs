@@ -34,7 +34,7 @@ fn attack_matrix_matches_the_papers_claims() {
         let mut m = memory(integrity, SeedScheme::PaperAdditive);
         m.write_line(0x1_0000, &secret).unwrap();
         let snap = m.attack_snapshot(0x1_0000);
-        m.write_line(0x1_0000, &vec![0xCD; 128]).unwrap();
+        m.write_line(0x1_0000, &[0xCD; 128]).unwrap();
         m.attack_replay(&snap);
         let outcome = m.probe_attack(0x1_0000, &secret);
         match integrity {

@@ -1,0 +1,306 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this drop-in replacement. It supports benchmark groups,
+//! `bench_function` / `bench_with_input`, `sample_size`, `throughput`,
+//! [`BenchmarkId`], and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a straightforward calibrated-batch median
+//! (no outlier analysis, HTML reports, or baselines); results print as
+//! `group/id  time: [median]` lines. When cargo runs a bench target in
+//! test mode (`--test` on the command line), every benchmark executes
+//! exactly one iteration so `cargo test` stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, optionally parameterised.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id built from a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id built from the parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Declares how many bytes or elements one iteration processes, so the
+/// harness can report derived throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    measured_ns: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement with the configured sample count.
+    Measure { sample_size: usize },
+    /// One iteration only (cargo test smoke mode).
+    Test,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iter on the bencher.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.measured_ns = 0.0;
+            }
+            Mode::Measure { sample_size } => {
+                // Calibrate: find an iteration count that takes ~2ms.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                        break;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+                let mut samples: Vec<f64> = (0..sample_size.max(1))
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            black_box(routine());
+                        }
+                        start.elapsed().as_nanos() as f64 / iters as f64
+                    })
+                    .collect();
+                samples.sort_by(|a, b| a.total_cmp(b));
+                self.measured_ns = samples[samples.len() / 2];
+            }
+        }
+    }
+}
+
+/// Top-level benchmark driver; one per `criterion_group!` function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--test`
+        // when running them under `cargo test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.run(id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark closure under this group's settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self {
+        let id = id.into();
+        self.run(id, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark, passing `input` to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Reporting happens per-benchmark; this exists for
+    /// API compatibility.)
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut bencher = Bencher {
+            mode: if self.criterion.test_mode {
+                Mode::Test
+            } else {
+                Mode::Measure { sample_size: self.sample_size }
+            },
+            measured_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        let label = if self.name.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        };
+        if self.criterion.test_mode {
+            println!("test {label} ... ok (1 iteration)");
+        } else if bencher.measured_ns.is_nan() {
+            println!("{label:<44} (no measurement: closure never called iter)");
+        } else {
+            let time = format_ns(bencher.measured_ns);
+            match self.throughput {
+                Some(Throughput::Bytes(bytes)) if bencher.measured_ns > 0.0 => {
+                    let gib_s = bytes as f64 / bencher.measured_ns; // bytes/ns == GB/s
+                    println!("{label:<44} time: [{time}]  thrpt: [{gib_s:.3} GB/s]");
+                }
+                Some(Throughput::Elements(n)) if bencher.measured_ns > 0.0 => {
+                    let melem_s = n as f64 * 1e3 / bencher.measured_ns;
+                    println!("{label:<44} time: [{time}]  thrpt: [{melem_s:.3} Melem/s]");
+                }
+                _ => println!("{label:<44} time: [{time}]"),
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_reports() {
+        let mut c = Criterion { test_mode: false };
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(2);
+            g.throughput(Throughput::Bytes(8));
+            g.bench_function("spin", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+                b.iter(|| {
+                    calls += 1;
+                    black_box(n * 2)
+                })
+            });
+            g.finish();
+        }
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u64;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).name, "f/4");
+        assert_eq!(BenchmarkId::from_parameter(true).name, "true");
+        assert_eq!(BenchmarkId::from("x").name, "x");
+    }
+}
