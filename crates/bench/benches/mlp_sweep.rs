@@ -1,0 +1,27 @@
+//! Criterion bench over the transaction engine's MLP sweep: wall time
+//! of simulating a miss-heavy batch across the `max_inflight` ×
+//! `snc_shards` grid (the simulated-cycle speedup table itself is
+//! printed by `repro --mlp` and regression-tested in
+//! `padlock_bench::mlp`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::run_mlp_point;
+
+fn mlp_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlp_sweep");
+    g.sample_size(10);
+    let lines = 1_024;
+    for inflight in [1usize, 4, 16] {
+        for shards in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("inflight{inflight}"), format!("{shards}shard")),
+                &(inflight, shards),
+                |b, &(inflight, shards)| b.iter(|| run_mlp_point(inflight, shards, lines)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, mlp_sweep);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! repro --quick          # smaller measurement windows
 //! repro --figure 5       # one figure
 //! repro --csv target/repro   # also write CSV files
+//! repro --mlp            # transaction-engine MLP speedup table
 //! ```
 
 use padlock_bench::{Lab, RunScale};
@@ -16,6 +17,7 @@ struct Args {
     csv_dir: Option<PathBuf>,
     calibrate: bool,
     snc: bool,
+    mlp: bool,
 }
 
 fn usage_error(message: &str) -> ! {
@@ -30,6 +32,7 @@ fn parse_args() -> Args {
         csv_dir: None,
         calibrate: false,
         snc: false,
+        mlp: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -49,16 +52,20 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--calibrate [--snc]]\n\
+                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--calibrate [--snc]] [--mlp]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
                      Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
                      --calibrate prints per-benchmark CPI/miss diagnostics instead;\n\
-                     add --snc for SNC hit/miss/spill rates."
+                     add --snc for SNC hit/miss/spill rates.\n\
+                     --mlp sweeps the transaction engine's max_inflight x snc_shards\n\
+                     grid on a miss-heavy trace and prints cycles/read with the\n\
+                     speedup over the paper's blocking (1 in-flight) controller."
                 );
                 std::process::exit(0);
             }
             "--calibrate" => args.calibrate = true,
             "--snc" => args.snc = true,
+            "--mlp" => args.mlp = true,
             other => {
                 eprintln!("unknown argument {other:?} (try --help)");
                 std::process::exit(2);
@@ -112,8 +119,30 @@ fn snc_diag(lab: &mut Lab, kind: padlock_bench::MachineKind) {
     }
 }
 
+fn mlp(scale: RunScale) {
+    let lines = match scale {
+        RunScale::Smoke => 1_024,
+        RunScale::Quick => 4_096,
+        RunScale::Full => 16_384,
+    };
+    println!(
+        "== MLP — transaction-engine read throughput, {lines}-line miss-heavy trace =="
+    );
+    println!(
+        "(64-entry LRU SNC, all lines previously written, CAM-limited {}-cycle SNC port;\n\
+         cells are simulated cycles/read and speedup vs the blocking 1-inflight controller)\n",
+        padlock_bench::mlp::SWEEP_SNC_PORT_CYCLES
+    );
+    let table = padlock_bench::mlp_table(&[1, 2, 4, 8, 16, 32], &[1, 2, 4], lines);
+    println!("{}", table.render_text());
+}
+
 fn main() {
     let args = parse_args();
+    if args.mlp {
+        mlp(args.scale);
+        return;
+    }
     let mut lab = Lab::new(args.scale);
     if args.calibrate {
         calibrate(&mut lab);

@@ -23,8 +23,10 @@
 
 mod figures;
 mod lab;
+pub mod mlp;
 mod paper_data;
 
 pub use figures::{FigureResult, Series};
 pub use lab::{Lab, MachineKind, RunScale};
+pub use mlp::{mlp_table, run_mlp_point, MlpPoint};
 pub use paper_data::{paper_series, ORDER};

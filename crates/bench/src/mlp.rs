@@ -1,0 +1,159 @@
+//! The memory-level-parallelism sweep: read throughput of the
+//! transaction engine as `max_inflight` × `snc_shards` grow.
+//!
+//! The paper's latency model charges each L2 miss in isolation, which
+//! leaves all MLP on the table; the engine overlaps outstanding misses
+//! on the DRAM channel, batches their pad generations through the
+//! crypto pipeline, and spreads their SNC probes over shard ports. This
+//! module drives the engine's batch surface directly with a miss-heavy
+//! trace (every line previously written back, working set far beyond
+//! SNC coverage, so almost every read takes Algorithm 1's
+//! sequence-fetch path) and reports simulated cycles per read.
+//!
+//! The sweep runs with a deliberately CAM-limited SNC port
+//! (16 cycles per probe) so the lookup-contention regime that sharding
+//! addresses is visible; the default configuration keeps probes cheap.
+
+use padlock_core::{SecureBackend, SecureBackendConfig, SecurityMode, SncConfig};
+use padlock_cpu::{LineKind, MemoryBackend};
+use padlock_stats::Table;
+
+/// SNC port occupancy used by the sweep: a large fully associative CAM
+/// whose probe occupies the port longer than one DRAM burst slot.
+pub const SWEEP_SNC_PORT_CYCLES: u64 = 16;
+
+/// One cell of the MLP sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpPoint {
+    /// In-flight transaction bound for this run.
+    pub max_inflight: usize,
+    /// SNC shard count for this run.
+    pub snc_shards: usize,
+    /// Reads retired.
+    pub reads: usize,
+    /// Cycle the last read retired (batch issued at cycle 0).
+    pub total_cycles: u64,
+}
+
+impl MlpPoint {
+    /// Average simulated cycles per retired read.
+    pub fn cycles_per_read(&self) -> f64 {
+        self.total_cycles as f64 / self.reads.max(1) as f64
+    }
+}
+
+/// Builds the miss-heavy controller the sweep measures: a 64-entry LRU
+/// SNC against `lines` previously written lines, so reads beyond the
+/// small resident tail all pay the sequence-fetch path.
+pub fn miss_heavy_backend(max_inflight: usize, snc_shards: usize, lines: u64) -> SecureBackend {
+    let snc = SncConfig::paper_default().with_capacity(128);
+    let cfg = SecureBackendConfig::paper(SecurityMode::Otp { snc })
+        .with_max_inflight(max_inflight)
+        .with_snc_shards(snc_shards)
+        .with_snc_port_cycles(SWEEP_SNC_PORT_CYCLES);
+    let mut backend = SecureBackend::new(cfg);
+    backend.pre_age((0..lines).map(line_addr), std::iter::empty());
+    backend
+}
+
+/// Covered line `i`'s address; consecutive lines rotate shards, so the
+/// trace is per-shard balanced for every shard count.
+fn line_addr(i: u64) -> u64 {
+    0x10_0000 + i * 128
+}
+
+/// Runs one sweep cell: a batch of `lines` independent reads issued at
+/// cycle 0 through the engine's batch surface.
+pub fn run_mlp_point(max_inflight: usize, snc_shards: usize, lines: u64) -> MlpPoint {
+    let mut backend = miss_heavy_backend(max_inflight, snc_shards, lines);
+    let reqs: Vec<(u64, LineKind)> =
+        (0..lines).map(|i| (line_addr(i), LineKind::Data)).collect();
+    let dones = backend.line_read_batch(0, &reqs);
+    MlpPoint {
+        max_inflight,
+        snc_shards,
+        reads: reqs.len(),
+        total_cycles: dones.into_iter().max().unwrap_or(0),
+    }
+}
+
+/// The full sweep as a rendered table: one row per `max_inflight`, one
+/// column per shard count, each cell `cycles/read (speedup vs the
+/// blocking 1×1 controller)`.
+pub fn mlp_table(inflights: &[usize], shard_counts: &[usize], lines: u64) -> Table {
+    let mut header = vec!["inflight".to_string()];
+    for s in shard_counts {
+        header.push(format!("{s} shard{}", if *s == 1 { "" } else { "s" }));
+    }
+    let mut table = Table::new(header);
+    let base_point = run_mlp_point(1, 1, lines);
+    let base = base_point.cycles_per_read();
+    for &inflight in inflights {
+        let mut row = vec![inflight.to_string()];
+        for &shards in shard_counts {
+            let p = if (inflight, shards) == (1, 1) {
+                base_point
+            } else {
+                run_mlp_point(inflight, shards, lines)
+            };
+            row.push(format!(
+                "{:7.1} cyc/read ({:4.2}x)",
+                p.cycles_per_read(),
+                base / p.cycles_per_read()
+            ));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_throughput_improves_monotonically_with_inflight() {
+        let lines = 512;
+        let mut last = u64::MAX;
+        for inflight in [1usize, 2, 4, 8, 16] {
+            let p = run_mlp_point(inflight, 1, lines);
+            assert!(
+                p.total_cycles <= last,
+                "inflight {inflight}: {} after {last}",
+                p.total_cycles
+            );
+            last = p.total_cycles;
+        }
+        // And the gain is substantial, not marginal.
+        let serial = run_mlp_point(1, 1, lines);
+        let deep = run_mlp_point(16, 1, lines);
+        assert!(
+            serial.total_cycles as f64 / deep.total_cycles as f64 > 2.0,
+            "serial {} vs deep {}",
+            serial.total_cycles,
+            deep.total_cycles
+        );
+    }
+
+    #[test]
+    fn sharding_relieves_port_contention_under_deep_inflight() {
+        let lines = 512;
+        let one = run_mlp_point(16, 1, lines);
+        let four = run_mlp_point(16, 4, lines);
+        assert!(
+            four.total_cycles <= one.total_cycles,
+            "4 shards {} vs 1 shard {}",
+            four.total_cycles,
+            one.total_cycles
+        );
+    }
+
+    #[test]
+    fn table_has_a_row_per_inflight_level() {
+        let t = mlp_table(&[1, 4], &[1, 2], 128);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.col_count(), 3);
+        let text = t.render_text();
+        assert!(text.contains("cyc/read"), "{text}");
+    }
+}

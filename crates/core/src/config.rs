@@ -204,6 +204,22 @@ pub struct SecureBackendConfig {
     /// Seed derivation scheme (timing-neutral; recorded for the
     /// functional layer and reports).
     pub seed_scheme: SeedScheme,
+    /// Maximum in-flight miss transactions (MSHR entries) the
+    /// controller's transaction engine overlaps within one drain
+    /// window. `1` models the paper's blocking controller exactly.
+    pub max_inflight: usize,
+    /// Number of address-interleaved SNC shards (each with its own
+    /// recency state and port). `1` is the paper's single SNC.
+    pub snc_shards: usize,
+    /// One-time pads coalesced per crypto issue slot when the engine
+    /// batches pad precomputation for overlapping misses. Irrelevant at
+    /// `max_inflight = 1` (a lone pad always issues immediately).
+    pub crypto_pipeline_width: u64,
+    /// Cycles an SNC probe occupies its shard's lookup port. Models
+    /// contention between concurrent in-flight misses only: an
+    /// uncontended probe adds no latency, matching the paper's
+    /// assumption that the SNC is searched in parallel with L2.
+    pub snc_port_cycles: u64,
 }
 
 impl SecureBackendConfig {
@@ -218,6 +234,10 @@ impl SecureBackendConfig {
             write_buffer_entries: 8,
             clean_lines_bypass: true,
             seed_scheme: SeedScheme::PaperAdditive,
+            max_inflight: 1,
+            snc_shards: 1,
+            crypto_pipeline_width: 4,
+            snc_port_cycles: 2,
         }
     }
 
@@ -230,6 +250,25 @@ impl SecureBackendConfig {
     /// Builder: set an arbitrary crypto model.
     pub fn with_crypto(mut self, crypto: CryptoUnitModel) -> Self {
         self.crypto = crypto;
+        self
+    }
+
+    /// Builder: set the number of in-flight miss transactions the
+    /// engine overlaps.
+    pub fn with_max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n;
+        self
+    }
+
+    /// Builder: set the number of address-interleaved SNC shards.
+    pub fn with_snc_shards(mut self, n: usize) -> Self {
+        self.snc_shards = n;
+        self
+    }
+
+    /// Builder: set the SNC port occupancy per probe.
+    pub fn with_snc_port_cycles(mut self, cycles: u64) -> Self {
+        self.snc_port_cycles = cycles;
         self
     }
 }
@@ -295,5 +334,19 @@ mod tests {
         assert_eq!(cfg.crypto.pipeline_latency(), 102);
         assert_eq!(cfg.mem_latency, 100);
         assert!(cfg.clean_lines_bypass);
+        // Paper defaults model the blocking single-controller machine.
+        assert_eq!(cfg.max_inflight, 1);
+        assert_eq!(cfg.snc_shards, 1);
+    }
+
+    #[test]
+    fn engine_builders_compose() {
+        let cfg = SecureBackendConfig::paper(SecurityMode::otp_lru_64k())
+            .with_max_inflight(8)
+            .with_snc_shards(4)
+            .with_snc_port_cycles(12);
+        assert_eq!(cfg.max_inflight, 8);
+        assert_eq!(cfg.snc_shards, 4);
+        assert_eq!(cfg.snc_port_cycles, 12);
     }
 }

@@ -15,17 +15,50 @@
 //!   *before* pad generation can start; under no-replacement the line was
 //!   direct-encrypted, i.e. the XOM path.
 //!
+//! # The transaction engine
+//!
+//! The controller is organised as a transaction engine rather than a
+//! one-call-one-latency function: every request becomes a
+//! [`MemTxn`] in a bounded in-flight queue (at most
+//! `max_inflight` entries, MSHR-style), and a drain scheduler retires
+//! queued transactions in three phases against per-resource timelines —
+//! the DRAM channel (persistent occupancy), the crypto pipeline
+//! ([`crate::engine::CryptoTimeline`], which coalesces up to
+//! `crypto_pipeline_width` pad generations per issue slot), and one
+//! lookup port per SNC shard ([`crate::engine::SncPorts`]):
+//!
+//! 1. **classify + first issue** — probe the (sharded) SNC, pick the
+//!    path (fast / sequence-fetch / direct), and issue the first memory
+//!    access; same-line reads merge into the earlier miss;
+//! 2. **decrypt** — sequence-number decryptions claim crypto slots;
+//! 3. **fill + pad** — overlapped line fetches issue, pads batch
+//!    through the crypto timeline, evicted sequence numbers spill.
+//!
+//! Blocking callers (`line_read`, `line_writeback`) enqueue one
+//! transaction and drain immediately; `line_read_batch` keeps up to
+//! `max_inflight` misses outstanding so their sequence-number fetches
+//! and pad generations overlap. With `max_inflight = 1` and
+//! `snc_shards = 1` a window never holds more than one transaction, no
+//! resource is ever contended, and the engine's arithmetic is
+//! bit-identical to the paper's single-miss model (the
+//! `engine_vs_seed` differential test drives both against random
+//! traces and compares every latency and traffic counter).
+//!
 //! Writebacks are enqueued in the write buffer with their ciphertext
 //! ready-time and drain on idle channel slots; sequence-number fetches
 //! and spills are tagged so Fig. 9's induced-traffic ratio falls out of
-//! the traffic counters.
+//! the traffic counters. Residual spill entries that never filled a
+//! packed line can be flushed with [`SecureBackend::flush_spills`]
+//! (called by `Machine` at measurement wrap-up).
 
 use crate::config::{SecureBackendConfig, SecurityMode, SncPolicy};
-use crate::snc::{SequenceNumberCache, SncLookup};
+use crate::engine::{CryptoTimeline, MemTxn, SncPorts, TxnOp};
+use crate::snc::SncLookup;
+use crate::snc_shards::SncShards;
 use padlock_cpu::{LineKind, MemoryBackend, MemoryChannel};
 use padlock_mem::TrafficClass;
 use padlock_stats::CounterSet;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 /// The configurable secure memory controller.
 ///
@@ -48,13 +81,16 @@ use std::collections::HashSet;
 pub struct SecureBackend {
     config: SecureBackendConfig,
     channel: MemoryChannel,
-    snc: Option<SequenceNumberCache>,
+    snc: Option<SncShards>,
     /// Lines that have ever been written back (their in-memory copy is
     /// OTP-dynamic or, under a full no-replacement SNC, direct-encrypted).
     written: HashSet<u64>,
     /// Evicted sequence numbers awaiting spill; 64 two-byte entries pack
     /// into one line-sized memory transaction.
     pending_spills: u32,
+    /// The bounded in-flight transaction queue (MSHR entries awaiting a
+    /// drain).
+    queue: VecDeque<MemTxn>,
     stats: CounterSet,
 }
 
@@ -62,16 +98,55 @@ pub struct SecureBackend {
 /// 2B entry).
 const SPILL_BATCH: u32 = 64;
 
+/// Which latency path a classified read takes through the window.
+#[derive(Debug, Clone, Copy)]
+enum Path {
+    /// Raw DRAM fill (insecure baseline).
+    Plain,
+    /// OTP fast path: pad generation overlapped with the fetch.
+    Fast,
+    /// Algorithm 1 miss: sequence fetch + decrypt before the fill.
+    SeqFetch,
+    /// Serial fetch-then-decrypt (XOM, and no-replacement SNC misses).
+    Direct,
+    /// Same-line merge with an earlier read in the window.
+    Alias(usize),
+    /// A writeback, fully processed (posted) in phase one.
+    Posted,
+}
+
+/// Per-transaction scheduling scratch for one drain window.
+#[derive(Debug)]
+struct Slot {
+    txn: MemTxn,
+    path: Path,
+    /// Completion of the phase-one memory access (line fetch for
+    /// `Fast`/`Direct`/`Plain`, sequence fetch for `SeqFetch`).
+    fetched: u64,
+    /// Completion of the phase-one/two crypto job (pad for `Fast`,
+    /// sequence decrypt for `SeqFetch`).
+    crypto_done: u64,
+    /// Retire cycle (reads only).
+    done: u64,
+}
+
 impl SecureBackend {
     /// Creates a controller for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_inflight` or `snc_shards` is zero, or (in OTP
+    /// mode) if the shard count does not evenly divide the SNC entries.
     pub fn new(config: SecureBackendConfig) -> Self {
+        assert!(config.max_inflight > 0, "max_inflight must be positive");
+        assert!(config.snc_shards > 0, "snc_shards must be positive");
         let channel = MemoryChannel::new(
             config.mem_latency,
             config.mem_occupancy,
             config.write_buffer_entries,
         );
         let snc = match config.mode {
-            SecurityMode::Otp { snc } => Some(SequenceNumberCache::new(snc)),
+            SecurityMode::Otp { snc } => Some(SncShards::new(snc, config.snc_shards)),
             _ => None,
         };
         Self {
@@ -80,6 +155,7 @@ impl SecureBackend {
             snc,
             written: HashSet::new(),
             pending_spills: 0,
+            queue: VecDeque::new(),
             stats: CounterSet::new("controller"),
         }
     }
@@ -159,18 +235,49 @@ impl SecureBackend {
         }
     }
 
+    /// Drains any residual spill entries (a partial pack of fewer than
+    /// [`SPILL_BATCH`]) as one encrypted line-sized transaction, so
+    /// `SeqWrite` traffic is not undercounted at measurement end.
+    /// Returns the number of entries flushed.
+    pub fn flush_spills(&mut self, now: u64) -> u32 {
+        let entries = self.pending_spills;
+        if entries > 0 {
+            self.pending_spills = 0;
+            self.channel.enqueue_write(
+                now,
+                now + self.crypto_latency(),
+                0,
+                TrafficClass::SeqWrite,
+                self.config.line_bytes,
+            );
+        }
+        entries
+    }
+
+    /// Spill entries buffered but not yet issued as a packed
+    /// transaction.
+    pub fn pending_spills(&self) -> u32 {
+        self.pending_spills
+    }
+
+    /// Transactions currently sitting in the in-flight queue (only
+    /// non-zero mid-batch).
+    pub fn inflight(&self) -> usize {
+        self.queue.len()
+    }
+
     /// The configuration.
     pub fn config(&self) -> &SecureBackendConfig {
         &self.config
     }
 
-    /// The SNC, when the mode has one.
-    pub fn snc(&self) -> Option<&SequenceNumberCache> {
+    /// The sharded SNC, when the mode has one.
+    pub fn snc(&self) -> Option<&SncShards> {
         self.snc.as_ref()
     }
 
     /// Controller event counters (`otp_fast_reads`, `xom_reads`,
-    /// `snc_fetch_reads`, ...).
+    /// `snc_fetch_reads`, `mshr_merged_reads`, ...).
     pub fn controller_stats(&self) -> &CounterSet {
         &self.stats
     }
@@ -198,85 +305,205 @@ impl SecureBackend {
         entries.len()
     }
 
-    /// The XOM read path: fetch then decrypt, in series.
-    fn xom_read(&mut self, now: u64) -> u64 {
-        self.stats.incr("xom_reads");
-        let fetched = self
-            .channel
-            .demand_read(now, TrafficClass::LineRead, self.config.line_bytes);
-        fetched + self.crypto_latency()
-    }
-
-    /// The OTP fast path: pad generation overlapped with the fetch.
-    fn otp_read(&mut self, now: u64) -> u64 {
-        self.stats.incr("otp_fast_reads");
-        let fetched = self
-            .channel
-            .demand_read(now, TrafficClass::LineRead, self.config.line_bytes);
-        let pad_ready = now + self.crypto_latency();
-        fetched.max(pad_ready) + 1
-    }
-}
-
-impl MemoryBackend for SecureBackend {
-    fn line_read(&mut self, now: u64, line_addr: u64, kind: LineKind) -> u64 {
+    /// Phase one of a drain: classify one read, probe the SNC through
+    /// its shard port, and issue the first memory access.
+    fn classify_read(
+        &mut self,
+        txn: &MemTxn,
+        kind: LineKind,
+        crypto: &mut CryptoTimeline,
+        ports: &mut SncPorts,
+    ) -> Slot {
+        let bytes = self.config.line_bytes;
+        let mut slot = Slot {
+            txn: *txn,
+            path: Path::Plain,
+            fetched: 0,
+            crypto_done: 0,
+            done: 0,
+        };
         match self.config.mode {
             SecurityMode::Insecure => {
-                self.channel
-                    .demand_read(now, TrafficClass::LineRead, self.config.line_bytes)
+                slot.fetched =
+                    self.channel
+                        .demand_read(txn.arrival, TrafficClass::LineRead, bytes);
             }
-            SecurityMode::Xom => self.xom_read(now),
+            SecurityMode::Xom => {
+                self.stats.incr("xom_reads");
+                slot.path = Path::Direct;
+                slot.fetched =
+                    self.channel
+                        .demand_read(txn.arrival, TrafficClass::LineRead, bytes);
+            }
             SecurityMode::Otp { snc: snc_cfg } => {
                 // Instructions are only ever read: their seed is the
-                // virtual address, always at hand (§3.4.1).
-                if kind == LineKind::Instruction {
-                    return self.otp_read(now);
-                }
-                // Clean data lines (never written back) still carry the
-                // loader's address-seeded encryption: seed known.
-                if self.config.clean_lines_bypass && !self.written.contains(&line_addr) {
+                // virtual address, always at hand (§3.4.1). Clean data
+                // lines (never written back) still carry the loader's
+                // address-seeded encryption: seed known. Neither probes
+                // the SNC.
+                let fast = if kind == LineKind::Instruction {
+                    true
+                } else if self.config.clean_lines_bypass && !self.written.contains(&txn.line_addr)
+                {
                     self.stats.incr("clean_bypass_reads");
-                    return self.otp_read(now);
+                    true
+                } else {
+                    false
+                };
+                if fast {
+                    self.stats.incr("otp_fast_reads");
+                    slot.path = Path::Fast;
+                    slot.fetched =
+                        self.channel
+                            .demand_read(txn.arrival, TrafficClass::LineRead, bytes);
+                    slot.crypto_done = crypto.issue_pad(txn.arrival);
+                    return slot;
                 }
                 let snc = self.snc.as_mut().expect("OTP mode has an SNC");
-                match snc.query(line_addr) {
-                    SncLookup::Hit(_) => self.otp_read(now),
+                let lookup_at = ports.acquire(snc.shard_of(txn.line_addr), txn.arrival);
+                match snc.query(txn.line_addr) {
+                    SncLookup::Hit(_) => {
+                        self.stats.incr("otp_fast_reads");
+                        slot.path = Path::Fast;
+                        slot.fetched =
+                            self.channel
+                                .demand_read(lookup_at, TrafficClass::LineRead, bytes);
+                        slot.crypto_done = crypto.issue_pad(lookup_at);
+                    }
                     SncLookup::Miss => match snc_cfg.policy {
                         // The line was encrypted directly when it was
                         // written while the SNC was full: XOM path.
-                        SncPolicy::NoReplacement => self.xom_read(now),
-                        // Algorithm 1: fetch the sequence number (memory
-                        // + decrypt), then overlap pad generation with
-                        // the line fetch.
+                        SncPolicy::NoReplacement => {
+                            self.stats.incr("xom_reads");
+                            slot.path = Path::Direct;
+                            slot.fetched = self.channel.demand_read(
+                                lookup_at,
+                                TrafficClass::LineRead,
+                                bytes,
+                            );
+                        }
+                        // Algorithm 1: fetch the sequence number first;
+                        // the decrypt and overlapped line fetch follow
+                        // in the later phases.
                         SncPolicy::Lru => {
                             self.stats.incr("snc_fetch_reads");
-                            let seq_fetched = self.channel.demand_read(
-                                now,
+                            slot.path = Path::SeqFetch;
+                            slot.fetched = self.channel.demand_read(
+                                lookup_at,
                                 TrafficClass::SeqRead,
-                                self.config.line_bytes,
+                                bytes,
                             );
-                            let seq_ready = seq_fetched + self.crypto_latency();
-                            let line_fetched = self.channel.demand_read(
-                                seq_ready,
-                                TrafficClass::LineRead,
-                                self.config.line_bytes,
-                            );
-                            let pad_ready = seq_ready + self.crypto_latency();
-                            // Install the fetched number; spill the victim.
-                            let snc = self.snc.as_mut().expect("OTP mode has an SNC");
-                            if let Some(victim) = snc.install(line_addr, 1) {
-                                let spill_ready = seq_ready + self.crypto_latency();
-                                self.spill_seq(now, spill_ready, victim.line_addr);
-                            }
-                            line_fetched.max(pad_ready) + 1
                         }
                     },
                 }
             }
         }
+        slot
     }
 
-    fn line_writeback(&mut self, now: u64, line_addr: u64) {
+    /// Retires every queued transaction, appending each read's
+    /// completion cycle to `out` in queue order.
+    fn drain_window(&mut self, out: &mut Vec<u64>) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let window: Vec<MemTxn> = self.queue.drain(..).collect();
+        let mut crypto = CryptoTimeline::new(
+            self.crypto_latency(),
+            self.config.crypto_pipeline_width,
+        );
+        let mut ports = SncPorts::new(self.config.snc_shards, self.config.snc_port_cycles);
+        let mut slots: Vec<Slot> = Vec::with_capacity(window.len());
+
+        // Phase one: classify in arrival order, issue first accesses,
+        // and fully process posted writebacks.
+        for txn in window {
+            let slot = match txn.op {
+                TxnOp::Writeback => {
+                    self.process_writeback(txn.arrival, txn.line_addr);
+                    Slot {
+                        txn,
+                        path: Path::Posted,
+                        fetched: 0,
+                        crypto_done: 0,
+                        done: 0,
+                    }
+                }
+                TxnOp::Read(kind) => {
+                    // A second miss to a line already in flight merges
+                    // into the earlier MSHR entry.
+                    let primary = slots.iter().position(|s| {
+                        s.txn.line_addr == txn.line_addr
+                            && matches!(s.txn.op, TxnOp::Read(_))
+                            && !matches!(s.path, Path::Alias(_))
+                    });
+                    match primary {
+                        Some(p) => {
+                            self.stats.incr("mshr_merged_reads");
+                            Slot {
+                                txn,
+                                path: Path::Alias(p),
+                                fetched: 0,
+                                crypto_done: 0,
+                                done: 0,
+                            }
+                        }
+                        None => self.classify_read(&txn, kind, &mut crypto, &mut ports),
+                    }
+                }
+            };
+            slots.push(slot);
+        }
+
+        // Phase two: sequence-number decrypts claim crypto slots.
+        for slot in slots.iter_mut() {
+            if matches!(slot.path, Path::SeqFetch) {
+                slot.crypto_done = crypto.issue_block(slot.fetched);
+            }
+        }
+
+        // Phase three: overlapped fills, batched pad generation, spills,
+        // serial decrypts — then retire.
+        for i in 0..slots.len() {
+            let (path, fetched, crypto_done) =
+                (slots[i].path, slots[i].fetched, slots[i].crypto_done);
+            slots[i].done = match path {
+                Path::Posted => 0,
+                Path::Plain => fetched,
+                Path::Fast => fetched.max(crypto_done) + 1,
+                Path::Direct => crypto.issue_block(fetched),
+                Path::Alias(p) => slots[p].done,
+                Path::SeqFetch => {
+                    let seq_ready = crypto_done;
+                    let line_fetched = self.channel.demand_read(
+                        seq_ready,
+                        TrafficClass::LineRead,
+                        self.config.line_bytes,
+                    );
+                    let pad_done = crypto.issue_pad(seq_ready);
+                    // Install the fetched number; spill the victim.
+                    let arrival = slots[i].txn.arrival;
+                    let line_addr = slots[i].txn.line_addr;
+                    let spill_ready = seq_ready + self.crypto_latency();
+                    let snc = self.snc.as_mut().expect("OTP mode has an SNC");
+                    if let Some(victim) = snc.install(line_addr, 1) {
+                        self.spill_seq(arrival, spill_ready, victim.line_addr);
+                    }
+                    line_fetched.max(pad_done) + 1
+                }
+            };
+        }
+
+        for slot in &slots {
+            if matches!(slot.txn.op, TxnOp::Read(_)) {
+                out.push(slot.done);
+            }
+        }
+    }
+
+    /// A posted writeback: encrypt (per mode), update SNC state, and
+    /// enqueue the ciphertext in the write buffer.
+    fn process_writeback(&mut self, now: u64, line_addr: u64) {
         let bytes = self.config.line_bytes;
         match self.config.mode {
             SecurityMode::Insecure => {
@@ -339,6 +566,39 @@ impl MemoryBackend for SecureBackend {
             }
         }
     }
+}
+
+impl MemoryBackend for SecureBackend {
+    fn line_read(&mut self, now: u64, line_addr: u64, kind: LineKind) -> u64 {
+        self.queue.push_back(MemTxn::read(now, line_addr, kind));
+        let mut out = Vec::with_capacity(1);
+        self.drain_window(&mut out);
+        out[0]
+    }
+
+    fn line_read_batch(&mut self, now: u64, reqs: &[(u64, LineKind)]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for &(line_addr, kind) in reqs {
+            if self.queue.len() >= self.config.max_inflight {
+                self.drain_window(&mut out);
+            }
+            self.queue.push_back(MemTxn::read(now, line_addr, kind));
+        }
+        self.drain_window(&mut out);
+        out
+    }
+
+    fn line_writeback(&mut self, now: u64, line_addr: u64) {
+        self.queue.push_back(MemTxn::writeback(now, line_addr));
+        let mut out = Vec::new();
+        self.drain_window(&mut out);
+    }
+
+    fn drain(&mut self, now: u64) {
+        let mut out = Vec::new();
+        self.drain_window(&mut out);
+        self.flush_spills(now);
+    }
 
     fn traffic(&self) -> &CounterSet {
         self.channel.mem().stats()
@@ -353,7 +613,14 @@ impl MemoryBackend for SecureBackend {
     }
 
     fn label(&self) -> String {
-        self.config.mode.to_string()
+        let mut label = self.config.mode.to_string();
+        if self.config.snc_shards > 1 {
+            label.push_str(&format!(" x{} shards", self.config.snc_shards));
+        }
+        if self.config.max_inflight > 1 {
+            label.push_str(&format!(" mlp{}", self.config.max_inflight));
+        }
+        label
     }
 }
 
@@ -488,6 +755,23 @@ mod tests {
     }
 
     #[test]
+    fn flush_spills_drains_a_partial_pack() {
+        let mut b = SecureBackend::new(otp_cfg(SncPolicy::Lru, 1));
+        for i in 0..3u64 {
+            b.line_writeback(i, 0x8000 + i * 128);
+        }
+        // Two evictions buffered, none issued yet.
+        assert_eq!(b.pending_spills(), 2);
+        assert_eq!(b.traffic().get("seq_writes"), 0);
+        assert_eq!(b.flush_spills(1000), 2);
+        assert_eq!(b.pending_spills(), 0);
+        assert_eq!(b.traffic().get("seq_writes"), 1);
+        // Idempotent once drained.
+        assert_eq!(b.flush_spills(2000), 0);
+        assert_eq!(b.traffic().get("seq_writes"), 1);
+    }
+
+    #[test]
     fn writebacks_become_line_write_traffic() {
         for mode in [SecurityMode::Insecure, SecurityMode::Xom] {
             let mut b = SecureBackend::new(plain_cfg(mode));
@@ -534,5 +818,90 @@ mod tests {
             SecureBackend::new(otp_cfg(SncPolicy::Lru, 1024)).label(),
             "SNC-LRU 2KB fully-assoc"
         );
+        assert_eq!(
+            SecureBackend::new(
+                otp_cfg(SncPolicy::Lru, 1024)
+                    .with_max_inflight(8)
+                    .with_snc_shards(4)
+            )
+            .label(),
+            "SNC-LRU 2KB fully-assoc x4 shards mlp8"
+        );
+    }
+
+    #[test]
+    fn batch_with_single_inflight_matches_sequential_reads() {
+        let reqs: Vec<(u64, LineKind)> = (0..20u64)
+            .map(|i| (0x8000 + i * 128, LineKind::Data))
+            .collect();
+        let mut seq = SecureBackend::new(otp_cfg(SncPolicy::Lru, 4));
+        let mut bat = SecureBackend::new(otp_cfg(SncPolicy::Lru, 4));
+        for b in [&mut seq, &mut bat] {
+            b.pre_age((0..20u64).map(|i| 0x8000 + i * 128), std::iter::empty());
+        }
+        let sequential: Vec<u64> = reqs
+            .iter()
+            .map(|&(a, k)| seq.line_read(0, a, k))
+            .collect();
+        let batched = bat.line_read_batch(0, &reqs);
+        assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn overlapped_misses_retire_faster_than_serial_ones() {
+        // A miss-heavy batch (written lines, SNC long since evicted)
+        // must retire monotonically faster as max_inflight grows.
+        let lines = 64u64;
+        let reqs: Vec<(u64, LineKind)> = (0..lines)
+            .map(|i| (0x10_0000 + i * 128, LineKind::Data))
+            .collect();
+        let mut last = u64::MAX;
+        for inflight in [1usize, 2, 4, 8, 16] {
+            let mut cfg = otp_cfg(SncPolicy::Lru, 4).with_max_inflight(inflight);
+            cfg.mem_occupancy = 8;
+            let mut b = SecureBackend::new(cfg);
+            b.pre_age(
+                (0..lines).map(|i| 0x10_0000 + i * 128),
+                std::iter::empty(),
+            );
+            let dones = b.line_read_batch(0, &reqs);
+            let finish = dones.iter().copied().max().unwrap();
+            assert!(
+                finish <= last,
+                "inflight {inflight}: {finish} vs previous {last}"
+            );
+            last = finish;
+        }
+    }
+
+    #[test]
+    fn same_line_misses_merge_in_one_window() {
+        let mut cfg = otp_cfg(SncPolicy::Lru, 1024).with_max_inflight(4);
+        cfg.mem_occupancy = 8;
+        let mut b = SecureBackend::new(cfg);
+        let reqs = [
+            (0x8000u64, LineKind::Data),
+            (0x8000, LineKind::Data),
+            (0x8080, LineKind::Data),
+        ];
+        let dones = b.line_read_batch(0, &reqs);
+        assert_eq!(dones[0], dones[1], "merged miss shares the fill");
+        assert_eq!(b.controller_stats().get("mshr_merged_reads"), 1);
+        // Only two lines actually fetched.
+        assert_eq!(b.traffic().get("line_reads"), 2);
+    }
+
+    #[test]
+    fn sharded_controller_still_answers_reads() {
+        let mut cfg = otp_cfg(SncPolicy::Lru, 1024).with_snc_shards(4);
+        cfg.mem_occupancy = 8;
+        let mut b = SecureBackend::new(cfg);
+        b.line_writeback(0, 0x8000);
+        b.line_writeback(0, 0x8080);
+        let d0 = b.line_read(5000, 0x8000, LineKind::Data);
+        let d1 = b.line_read(10_000, 0x8080, LineKind::Data);
+        assert!(d0 > 5000 && d1 > 10_000);
+        assert_eq!(b.snc().unwrap().stats().get("query_hits"), 2);
+        assert_eq!(b.snc().unwrap().num_shards(), 4);
     }
 }

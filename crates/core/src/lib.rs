@@ -8,10 +8,20 @@
 //!
 //! * [`SecureBackend`] — a [`padlock_cpu::MemoryBackend`] implementing the
 //!   three machines of the paper: the insecure baseline, XOM
-//!   (decrypt-in-series, Fig. 2), and one-time-pad with an SNC (Fig. 4);
+//!   (decrypt-in-series, Fig. 2), and one-time-pad with an SNC (Fig. 4).
+//!   Internally a **transaction engine**: requests become [`MemTxn`]
+//!   records in a bounded in-flight queue (MSHR-style) and a drain
+//!   scheduler retires them against per-resource timelines (DRAM
+//!   channel occupancy, crypto-pipeline issue slots with batched pad
+//!   precomputation, per-shard SNC ports), so batched misses overlap
+//!   their sequence-number fetches and pad generations. With
+//!   `max_inflight = 1` and `snc_shards = 1` (the paper defaults) the
+//!   engine reproduces the paper's single-miss latencies bit-exactly —
+//!   the `engine_vs_seed` differential test enforces it;
 //! * [`SequenceNumberCache`] — the on-chip SNC in both organisations
 //!   (fully associative / set-associative) and both management policies
-//!   (no-replacement / LRU);
+//!   (no-replacement / LRU); [`SncShards`] interleaves N of them by
+//!   line address for multi-controller configurations;
 //! * [`Machine`] — a configured core + hierarchy + backend, with a
 //!   warm-up-then-measure runner.
 //!
@@ -44,16 +54,20 @@
 pub mod compartment;
 mod config;
 mod controller;
+pub mod engine;
 mod machine;
 mod secure_mem;
 mod snc;
+mod snc_shards;
 pub mod vendor;
 
 pub use config::{SecureBackendConfig, SecurityMode, SeedScheme, SncConfig, SncOrganization, SncPolicy};
 pub use controller::SecureBackend;
+pub use engine::{MemTxn, TxnOp};
 pub use machine::{Machine, MachineConfig, Measurement};
 pub use secure_mem::{
     AttackOutcome, IntegrityMode, LineProtection, LineSnapshot, MapRegionError, SecureMemory,
     SecureMemoryError,
 };
-pub use snc::{SequenceNumberCache, SncLookup};
+pub use snc::{EvictedSeq, SequenceNumberCache, SncLookup};
+pub use snc_shards::SncShards;

@@ -112,6 +112,11 @@ impl Machine {
         }
         self.core.reset_stats();
         let stats = self.core.run(workload, measure_ops);
+        // Measurement wrap-up: retire queued transactions and flush the
+        // residual (< one pack) spill buffer so SeqWrite traffic is not
+        // undercounted at window end.
+        let now = self.core.now();
+        self.core.hierarchy_mut().backend_mut().drain(now);
         let h = self.core.hierarchy();
         Measurement {
             stats,
@@ -121,7 +126,7 @@ impl Machine {
             snc: h
                 .backend()
                 .snc()
-                .map(|s| s.stats().clone())
+                .map(|s| s.stats())
                 .unwrap_or_else(|| CounterSet::new("snc")),
             label: h.backend().label(),
         }
@@ -188,6 +193,29 @@ mod tests {
         // 2MB written working set fits under the 4MB SNC coverage.
         let otp = measure(SecurityMode::otp_lru_64k(), 2 << 20);
         assert!(otp.snc_traffic_percent() < 5.0, "{}", otp.snc_traffic_percent());
+    }
+
+    #[test]
+    fn measurement_wrapup_flushes_residual_spills() {
+        use crate::config::{SncConfig, SncOrganization, SncPolicy};
+        // A tiny SNC under a large written working set leaves a partial
+        // spill pack at window end; wrap-up must drain it into SeqWrite
+        // traffic instead of losing it.
+        let snc = SncConfig {
+            capacity_bytes: 32, // 16 entries
+            entry_bytes: 2,
+            organization: SncOrganization::FullyAssociative,
+            policy: SncPolicy::Lru,
+            covered_line_bytes: 128,
+        };
+        let mut m = Machine::new(MachineConfig::paper(SecurityMode::Otp { snc }));
+        let meas = m.run(&mut StrideWorkload::new(8 << 20, 128, 0.5), 2_000, 12_000);
+        assert_eq!(m.core_mut().hierarchy().backend().pending_spills(), 0);
+        assert!(
+            meas.traffic.get("seq_writes") >= 1,
+            "traffic: {}",
+            meas.traffic
+        );
     }
 
     #[test]

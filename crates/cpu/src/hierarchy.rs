@@ -33,8 +33,28 @@ pub trait MemoryBackend {
     /// Satisfies an L2 read miss; returns the plaintext-available cycle.
     fn line_read(&mut self, now: u64, line_addr: u64, kind: LineKind) -> u64;
 
+    /// Satisfies many independent L2 read misses issued at `now`,
+    /// returning each request's plaintext-available cycle in order.
+    ///
+    /// This is the memory-level-parallelism surface: backends with an
+    /// in-flight transaction queue overlap the requests' memory and
+    /// crypto work. The default implementation is a compatibility shim
+    /// that serialises through [`MemoryBackend::line_read`], so simple
+    /// backends (and existing single-shot callers) keep working
+    /// unchanged.
+    fn line_read_batch(&mut self, now: u64, reqs: &[(u64, LineKind)]) -> Vec<u64> {
+        reqs.iter()
+            .map(|&(line_addr, kind)| self.line_read(now, line_addr, kind))
+            .collect()
+    }
+
     /// Accepts a dirty L2 victim for (encryption and) writeback.
     fn line_writeback(&mut self, now: u64, line_addr: u64);
+
+    /// Completes deferred background work (queued transactions,
+    /// partially packed spill buffers) at measurement wrap-up so
+    /// traffic counters are exact. Default: nothing deferred.
+    fn drain(&mut self, _now: u64) {}
 
     /// Memory traffic statistics (per [`TrafficClass`]).
     fn traffic(&self) -> &CounterSet;
@@ -108,6 +128,25 @@ impl MemoryChannel {
     /// transactions, the way a read-priority memory scheduler behaves).
     pub fn demand_read(&mut self, now: u64, class: TrafficClass, bytes: u32) -> u64 {
         let done = self.mem.read(now, class, bytes);
+        self.drain_ready(now);
+        done
+    }
+
+    /// Issues a burst of `count` same-class demand reads at `now`;
+    /// returns each read's completion cycle.
+    ///
+    /// The reads claim consecutive occupancy slots ahead of any pending
+    /// writebacks (read-priority scheduling); ready writebacks then
+    /// backfill behind the whole burst. A burst of one is exactly
+    /// [`MemoryChannel::demand_read`].
+    pub fn demand_read_burst(
+        &mut self,
+        now: u64,
+        class: TrafficClass,
+        bytes: u32,
+        count: usize,
+    ) -> Vec<u64> {
+        let done = self.mem.read_burst(now, class, bytes, count);
         self.drain_ready(now);
         done
     }
@@ -365,6 +404,13 @@ impl MemoryBackend for InsecureBackend {
             .demand_read(now, TrafficClass::LineRead, self.line_bytes)
     }
 
+    fn line_read_batch(&mut self, now: u64, reqs: &[(u64, LineKind)]) -> Vec<u64> {
+        // No per-line state below L2: a batch is one read burst over
+        // consecutive channel slots.
+        self.channel
+            .demand_read_burst(now, TrafficClass::LineRead, self.line_bytes, reqs.len())
+    }
+
     fn line_writeback(&mut self, now: u64, line_addr: u64) {
         // No encryption: data is ready immediately.
         self.channel
@@ -487,6 +533,52 @@ mod tests {
         assert_eq!(done, 192);
         let next = ch.demand_read(92, TrafficClass::LineRead, 128);
         assert!(next > 200, "second read queues behind the drained write");
+    }
+
+    #[test]
+    fn read_burst_claims_slots_ahead_of_ready_writes() {
+        let mut ch = MemoryChannel::new(100, 8, 8);
+        ch.enqueue_write(0, 50, 0x80, TrafficClass::LineWrite, 128);
+        let dones = ch.demand_read_burst(60, TrafficClass::LineRead, 128, 3);
+        assert_eq!(dones, vec![160, 168, 176]);
+        // The ready write backfilled behind the burst.
+        assert_eq!(ch.mem().stats().get("line_writes"), 1);
+    }
+
+    #[test]
+    fn insecure_batch_reads_overlap_on_the_channel() {
+        let mut b = InsecureBackend::new(100, 8);
+        let reqs: Vec<(u64, LineKind)> =
+            (0..4u64).map(|i| (i * 128, LineKind::Data)).collect();
+        let dones = b.line_read_batch(0, &reqs);
+        assert_eq!(dones, vec![100, 108, 116, 124]);
+        assert_eq!(b.traffic().get("line_reads"), 4);
+    }
+
+    #[test]
+    fn default_batch_shim_serialises_through_line_read() {
+        // A backend without an engine gets the compatibility shim.
+        #[derive(Debug)]
+        struct Fixed(u64);
+        impl MemoryBackend for Fixed {
+            fn line_read(&mut self, now: u64, _a: u64, _k: LineKind) -> u64 {
+                self.0 += 1;
+                now + 100
+            }
+            fn line_writeback(&mut self, _now: u64, _a: u64) {}
+            fn traffic(&self) -> &CounterSet {
+                unimplemented!("not used in this test")
+            }
+            fn reset_stats(&mut self) {}
+            fn label(&self) -> String {
+                "fixed".into()
+            }
+        }
+        let mut f = Fixed(0);
+        let dones = f.line_read_batch(7, &[(0, LineKind::Data), (128, LineKind::Data)]);
+        assert_eq!(dones, vec![107, 107]);
+        assert_eq!(f.0, 2);
+        f.drain(1_000); // default drain is a no-op
     }
 
     #[test]

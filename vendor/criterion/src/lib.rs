@@ -10,7 +10,20 @@
 //! `group/id  time: [median]` lines. When cargo runs a bench target in
 //! test mode (`--test` on the command line), every benchmark executes
 //! exactly one iteration so `cargo test` stays fast.
+//!
+//! # Baseline capture
+//!
+//! When the `CRITERION_BASELINE` environment variable names a file,
+//! every measured benchmark appends one JSON object per line
+//! (`{"id": "group/name", "median_ns": …, "samples": …}`) to it —
+//! JSON-lines, so the many bench processes `cargo bench` spawns can
+//! share the file without coordination. Records only ever append:
+//! delete the file before a capture when refreshing a baseline,
+//! otherwise stale records for the same ids pile up. The repo checks
+//! in the reference capture at `crates/bench/baseline.json`; diff a
+//! fresh run against it to spot perf regressions.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Prevents the compiler from optimising away a benchmarked value.
@@ -214,6 +227,7 @@ impl BenchmarkGroup<'_> {
         } else if bencher.measured_ns.is_nan() {
             println!("{label:<44} (no measurement: closure never called iter)");
         } else {
+            record_baseline(&label, bencher.measured_ns, self.sample_size);
             let time = format_ns(bencher.measured_ns);
             match self.throughput {
                 Some(Throughput::Bytes(bytes)) if bencher.measured_ns > 0.0 => {
@@ -227,6 +241,32 @@ impl BenchmarkGroup<'_> {
                 _ => println!("{label:<44} time: [{time}]"),
             }
         }
+    }
+}
+
+/// Appends one JSON-lines record to the `CRITERION_BASELINE` file, if
+/// the variable is set. Failures warn on stderr rather than failing
+/// the bench run.
+fn record_baseline(label: &str, median_ns: f64, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_BASELINE") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let entry = format!(
+        "{{\"id\":\"{}\",\"median_ns\":{:.1},\"samples\":{}}}\n",
+        label.replace('\\', "\\\\").replace('"', "\\\""),
+        median_ns,
+        samples
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(entry.as_bytes()));
+    if let Err(err) = result {
+        eprintln!("criterion shim: cannot append baseline to {path}: {err}");
     }
 }
 
@@ -269,8 +309,14 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serialises the tests that run measure-mode groups: they read the
+    /// process-global `CRITERION_BASELINE` variable, which
+    /// `baseline_env_var_appends_json_lines` mutates.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn group_measures_and_reports() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut c = Criterion { test_mode: false };
         let mut calls = 0u64;
         {
@@ -295,6 +341,34 @@ mod tests {
         let mut calls = 0u64;
         c.bench_function("once", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn baseline_env_var_appends_json_lines() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_baseline_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_BASELINE", &path);
+        let mut c = Criterion { test_mode: false };
+        {
+            let mut g = c.benchmark_group("baseline_check");
+            g.sample_size(2);
+            g.bench_function("spin", |b| b.iter(|| black_box(2 + 2)));
+            g.finish();
+        }
+        std::env::remove_var("CRITERION_BASELINE");
+        let contents = std::fs::read_to_string(&path).expect("baseline file written");
+        let _ = std::fs::remove_file(&path);
+        let line = contents
+            .lines()
+            .find(|l| l.contains("baseline_check/spin"))
+            .expect("record for our benchmark");
+        assert!(line.starts_with("{\"id\":\"baseline_check/spin\""), "{line}");
+        assert!(line.contains("\"median_ns\":"), "{line}");
+        assert!(line.trim_end().ends_with("\"samples\":2}"), "{line}");
     }
 
     #[test]
