@@ -1,0 +1,33 @@
+//! Criterion bench over the multi-channel DRAM fabric: wall time of
+//! simulating the engine's miss-heavy batch and the end-to-end recorded
+//! trace across the `mem_channels` axis (the simulated-cycle speedup
+//! tables themselves are printed by `repro --mlp` and regression-tested
+//! in `padlock_bench::mlp`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::{run_e2e_point, run_mlp_point, E2eTrace};
+
+fn channel_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel_sweep");
+    g.sample_size(10);
+    let lines = 1_024;
+    for channels in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("batch", format!("{channels}ch")),
+            &channels,
+            |b, &channels| b.iter(|| run_mlp_point(16, 4, channels, lines)),
+        );
+    }
+    let trace = E2eTrace::record("bfs", 4_000, 12_000);
+    for channels in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("e2e", format!("{channels}ch")),
+            &channels,
+            |b, &channels| b.iter(|| run_e2e_point(&trace, 8, channels, 32)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, channel_sweep);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Compares a freshly captured Criterion baseline against the
+//! checked-in reference and fails on regressions beyond a noise
+//! threshold.
+//!
+//! ```text
+//! baseline_diff REFERENCE CURRENT [--threshold 0.5]
+//! ```
+//!
+//! Both files are the JSON-lines format the vendored criterion shim
+//! emits under `CRITERION_BASELINE`: one
+//! `{"id": ..., "median_ns": ..., "samples": ...}` record per bench.
+//! A bench regresses when its current median exceeds the reference
+//! median by more than `threshold` (a ratio: 0.5 = +50%). Benches
+//! missing from the current capture fail the run (a deleted or broken
+//! bench is a regression too); benches missing from the reference are
+//! reported as new and pass (the reference wants re-capturing).
+//!
+//! The threshold defaults to 0.5 and can also be set with the
+//! `BASELINE_NOISE` environment variable; the flag wins. Shared-runner
+//! CI timing is noisy — the threshold guards against step-function
+//! regressions (an accidentally quadratic drain, a lost memoisation),
+//! not single-digit-percent drift.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// One `{"id": ..., "median_ns": ..., "samples": ...}` record.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    id: String,
+    median_ns: f64,
+}
+
+/// Pulls a JSON string field out of a single-line record.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => return Some(out),
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+/// Pulls a JSON numeric field out of a single-line record.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn load(path: &Path) -> Result<BTreeMap<String, Record>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let id = json_str_field(line, "id")
+            .ok_or_else(|| format!("{}:{}: no \"id\" field", path.display(), lineno + 1))?;
+        let median_ns = json_num_field(line, "median_ns")
+            .ok_or_else(|| format!("{}:{}: no \"median_ns\" field", path.display(), lineno + 1))?;
+        // Re-runs append; the last record for an id wins.
+        out.insert(id.clone(), Record { id, median_ns });
+    }
+    Ok(out)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: baseline_diff REFERENCE CURRENT [--threshold RATIO]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                threshold = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [reference, current] = paths.as_slice() else {
+        usage();
+    };
+    let threshold = threshold
+        .or_else(|| {
+            std::env::var("BASELINE_NOISE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0.5);
+
+    let reference_map = match load(Path::new(reference)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("baseline_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current_map = match load(Path::new(current)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("baseline_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    let mut new = 0usize;
+    for (id, reference_rec) in &reference_map {
+        match current_map.get(id) {
+            None => {
+                println!("MISSING    {id} (in reference, not captured now)");
+                missing += 1;
+            }
+            Some(current_rec) => {
+                let ratio = current_rec.median_ns / reference_rec.median_ns.max(1e-9);
+                let delta = (ratio - 1.0) * 100.0;
+                if ratio > 1.0 + threshold {
+                    println!(
+                        "REGRESSED  {id}: {:.2}ms -> {:.2}ms ({delta:+.1}%)",
+                        reference_rec.median_ns / 1e6,
+                        current_rec.median_ns / 1e6
+                    );
+                    regressions += 1;
+                } else {
+                    println!("ok         {id} ({delta:+.1}%)");
+                }
+            }
+        }
+    }
+    for id in current_map.keys() {
+        if !reference_map.contains_key(id) {
+            println!("NEW        {id} (not in reference; re-capture baseline.json)");
+            new += 1;
+        }
+    }
+
+    println!(
+        "\n{} benches compared, {} regressed (>{:.0}% over reference), {} missing, {} new",
+        reference_map.len(),
+        regressions,
+        threshold * 100.0,
+        missing,
+        new,
+    );
+    if regressions > 0 || missing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -5,10 +5,11 @@
 //! repro --quick          # smaller measurement windows
 //! repro --figure 5       # one figure
 //! repro --csv target/repro   # also write CSV files
-//! repro --mlp            # transaction-engine MLP speedup table
+//! repro --mlp            # engine + end-to-end MLP speedup tables
+//! repro --mlp --channels 1,2,4 --mshrs 1,4,8   # custom sweep axes
 //! ```
 
-use padlock_bench::{Lab, RunScale};
+use padlock_bench::{E2eTrace, Lab, RunScale};
 use std::path::PathBuf;
 
 struct Args {
@@ -18,6 +19,24 @@ struct Args {
     calibrate: bool,
     snc: bool,
     mlp: bool,
+    channels: Vec<usize>,
+    mshrs: Vec<usize>,
+    trace: String,
+}
+
+fn parse_axis(flag: &str, value: &str) -> Vec<usize> {
+    let axis: Vec<usize> = value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("{flag} expects numbers, got {v:?}")))
+        })
+        .collect();
+    if axis.is_empty() || axis.contains(&0) {
+        usage_error(&format!("{flag} needs positive counts"));
+    }
+    axis
 }
 
 fn usage_error(message: &str) -> ! {
@@ -33,6 +52,9 @@ fn parse_args() -> Args {
         calibrate: false,
         snc: false,
         mlp: false,
+        channels: vec![1, 2, 4],
+        mshrs: vec![1, 2, 4, 8],
+        trace: "bfs".to_string(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -52,20 +74,47 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--calibrate [--snc]] [--mlp]\n\
+                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--calibrate [--snc]]\n\
+                     \x20      [--mlp [--channels A,B,..] [--mshrs A,B,..] [--trace BENCH]]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
                      Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
                      --calibrate prints per-benchmark CPI/miss diagnostics instead;\n\
                      add --snc for SNC hit/miss/spill rates.\n\
-                     --mlp sweeps the transaction engine's max_inflight x snc_shards\n\
-                     grid on a miss-heavy trace and prints cycles/read with the\n\
-                     speedup over the paper's blocking (1 in-flight) controller."
+                     --mlp sweeps the transaction engine's inflight x shards x channels\n\
+                     grid on a miss-heavy batch (cycles/read), then sweeps whole\n\
+                     machines — L2 MSHRs x DRAM channels — end to end on a recorded\n\
+                     benchmark trace (CPI), each with the speedup over the paper's\n\
+                     blocking single-channel machine.\n\
+                     --channels / --mshrs set the sweep axes (comma-separated);\n\
+                     --trace picks the recorded benchmark (default bfs, the\n\
+                     miss-heavy graph-traversal workload)."
                 );
                 std::process::exit(0);
             }
             "--calibrate" => args.calibrate = true,
             "--snc" => args.snc = true,
             "--mlp" => args.mlp = true,
+            "--channels" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--channels needs counts"));
+                args.channels = parse_axis("--channels", &v);
+            }
+            "--mshrs" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--mshrs needs counts"));
+                args.mshrs = parse_axis("--mshrs", &v);
+            }
+            "--trace" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--trace needs a benchmark"));
+                let known = padlock_workloads::BENCHMARK_NAMES
+                    .iter()
+                    .chain(padlock_workloads::STRESS_NAMES.iter());
+                if !known.clone().any(|&k| k == v) {
+                    usage_error(&format!(
+                        "--trace expects one of {:?}, got {v:?}",
+                        known.collect::<Vec<_>>()
+                    ));
+                }
+                args.trace = v;
+            }
             other => {
                 eprintln!("unknown argument {other:?} (try --help)");
                 std::process::exit(2);
@@ -119,28 +168,46 @@ fn snc_diag(lab: &mut Lab, kind: padlock_bench::MachineKind) {
     }
 }
 
-fn mlp(scale: RunScale) {
-    let lines = match scale {
+fn mlp(args: &Args) {
+    let lines = match args.scale {
         RunScale::Smoke => 1_024,
         RunScale::Quick => 4_096,
         RunScale::Full => 16_384,
     };
     println!(
-        "== MLP — transaction-engine read throughput, {lines}-line miss-heavy trace =="
+        "== MLP — transaction-engine read throughput, {lines}-line miss-heavy batch =="
     );
     println!(
         "(64-entry LRU SNC, all lines previously written, CAM-limited {}-cycle SNC port;\n\
          cells are simulated cycles/read and speedup vs the blocking 1-inflight controller)\n",
         padlock_bench::mlp::SWEEP_SNC_PORT_CYCLES
     );
-    let table = padlock_bench::mlp_table(&[1, 2, 4, 8, 16, 32], &[1, 2, 4], lines);
+    let table =
+        padlock_bench::mlp_table(&[1, 2, 4, 8, 16, 32], &[1, 2, 4], &args.channels, lines);
+    println!("{}", table.render_text());
+
+    let (warmup, measure) = args.scale.window();
+    // The end-to-end sweep runs a full machine per cell; a fraction of
+    // the figure window keeps the grid affordable at every scale.
+    let (warmup, measure) = (warmup / 4, measure / 4);
+    println!(
+        "\n== MLP end-to-end — recorded {} trace through the whole machine ==",
+        args.trace
+    );
+    println!(
+        "(OTP + 64-entry LRU SNC, 128-entry ROB, shards paired with channels,\n\
+         max_inflight = min(4 x mshrs, 32); cells are CPI of a {measure}-op window\n\
+         and speedup vs the blocking 1-MSHR single-channel paper machine)\n"
+    );
+    let trace = E2eTrace::record(&args.trace, warmup, measure);
+    let table = padlock_bench::e2e_table(&trace, &args.mshrs, &args.channels);
     println!("{}", table.render_text());
 }
 
 fn main() {
     let args = parse_args();
     if args.mlp {
-        mlp(args.scale);
+        mlp(&args);
         return;
     }
     let mut lab = Lab::new(args.scale);

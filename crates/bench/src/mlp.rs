@@ -1,34 +1,46 @@
-//! The memory-level-parallelism sweep: read throughput of the
-//! transaction engine as `max_inflight` × `snc_shards` grow.
+//! The memory-level-parallelism sweeps: engine read throughput as
+//! `max_inflight` × `snc_shards` × `mem_channels` grow, and the
+//! end-to-end machine speedup on a recorded real-workload trace as the
+//! hierarchy's MSHR file and the DRAM channel fabric deepen.
 //!
 //! The paper's latency model charges each L2 miss in isolation, which
-//! leaves all MLP on the table; the engine overlaps outstanding misses
-//! on the DRAM channel, batches their pad generations through the
-//! crypto pipeline, and spreads their SNC probes over shard ports. This
-//! module drives the engine's batch surface directly with a miss-heavy
-//! trace (every line previously written back, working set far beyond
-//! SNC coverage, so almost every read takes Algorithm 1's
-//! sequence-fetch path) and reports simulated cycles per read.
+//! leaves all MLP on the table. Two layers recover it:
 //!
-//! The sweep runs with a deliberately CAM-limited SNC port
+//! * the **transaction engine** overlaps outstanding misses on the DRAM
+//!   fabric, batches their pad generations through the crypto pipeline,
+//!   and spreads their SNC probes over shard ports
+//!   ([`run_mlp_point`] drives its batch surface directly);
+//! * the **hierarchy's L2 MSHR file** is what feeds the engine from a
+//!   *real* instruction stream: misses stay in flight while the
+//!   out-of-order core runs ahead, then drain in one arrival-preserving
+//!   batch ([`run_e2e_point`] measures whole machines on a trace
+//!   recorded from a benchmark workload).
+//!
+//! The batch sweep runs with a deliberately CAM-limited SNC port
 //! (16 cycles per probe) so the lookup-contention regime that sharding
 //! addresses is visible; the default configuration keeps probes cheap.
 
-use padlock_core::{SecureBackend, SecureBackendConfig, SecurityMode, SncConfig};
-use padlock_cpu::{LineKind, MemoryBackend};
+use padlock_core::{
+    Machine, MachineConfig, SecureBackend, SecureBackendConfig, SecurityMode, SncConfig,
+};
+use padlock_cpu::{LineKind, MemoryBackend, Workload};
 use padlock_stats::Table;
+use padlock_workloads::{benchmark_profile, SpecWorkload, TracePlayer, TraceRecorder, CHASE_BASE};
 
-/// SNC port occupancy used by the sweep: a large fully associative CAM
-/// whose probe occupies the port longer than one DRAM burst slot.
+/// SNC port occupancy used by the batch sweep: a large fully
+/// associative CAM whose probe occupies the port longer than one DRAM
+/// burst slot.
 pub const SWEEP_SNC_PORT_CYCLES: u64 = 16;
 
-/// One cell of the MLP sweep.
+/// One cell of the engine-level MLP sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct MlpPoint {
     /// In-flight transaction bound for this run.
     pub max_inflight: usize,
     /// SNC shard count for this run.
     pub snc_shards: usize,
+    /// DRAM channel count for this run.
+    pub mem_channels: usize,
     /// Reads retired.
     pub reads: usize,
     /// Cycle the last read retired (batch issued at cycle 0).
@@ -42,64 +54,247 @@ impl MlpPoint {
     }
 }
 
-/// Builds the miss-heavy controller the sweep measures: a 64-entry LRU
-/// SNC against `lines` previously written lines, so reads beyond the
-/// small resident tail all pay the sequence-fetch path.
-pub fn miss_heavy_backend(max_inflight: usize, snc_shards: usize, lines: u64) -> SecureBackend {
+/// Builds the miss-heavy controller the batch sweep measures: a
+/// 64-entry LRU SNC against `lines` previously written lines, so reads
+/// beyond the small resident tail all pay the sequence-fetch path.
+pub fn miss_heavy_backend(
+    max_inflight: usize,
+    snc_shards: usize,
+    mem_channels: usize,
+    lines: u64,
+) -> SecureBackend {
     let snc = SncConfig::paper_default().with_capacity(128);
     let cfg = SecureBackendConfig::paper(SecurityMode::Otp { snc })
         .with_max_inflight(max_inflight)
         .with_snc_shards(snc_shards)
+        .with_mem_channels(mem_channels)
         .with_snc_port_cycles(SWEEP_SNC_PORT_CYCLES);
     let mut backend = SecureBackend::new(cfg);
     backend.pre_age((0..lines).map(line_addr), std::iter::empty());
     backend
 }
 
-/// Covered line `i`'s address; consecutive lines rotate shards, so the
-/// trace is per-shard balanced for every shard count.
+/// Covered line `i`'s address; consecutive lines rotate shards and
+/// channels, so the trace is balanced for every shard/channel count.
 fn line_addr(i: u64) -> u64 {
     0x10_0000 + i * 128
 }
 
-/// Runs one sweep cell: a batch of `lines` independent reads issued at
+/// Runs one batch-sweep cell: `lines` independent reads issued at
 /// cycle 0 through the engine's batch surface.
-pub fn run_mlp_point(max_inflight: usize, snc_shards: usize, lines: u64) -> MlpPoint {
-    let mut backend = miss_heavy_backend(max_inflight, snc_shards, lines);
+pub fn run_mlp_point(
+    max_inflight: usize,
+    snc_shards: usize,
+    mem_channels: usize,
+    lines: u64,
+) -> MlpPoint {
+    let mut backend = miss_heavy_backend(max_inflight, snc_shards, mem_channels, lines);
     let reqs: Vec<(u64, LineKind)> =
         (0..lines).map(|i| (line_addr(i), LineKind::Data)).collect();
     let dones = backend.line_read_batch(0, &reqs);
     MlpPoint {
         max_inflight,
         snc_shards,
+        mem_channels,
         reads: reqs.len(),
         total_cycles: dones.into_iter().max().unwrap_or(0),
     }
 }
 
-/// The full sweep as a rendered table: one row per `max_inflight`, one
-/// column per shard count, each cell `cycles/read (speedup vs the
-/// blocking 1×1 controller)`.
-pub fn mlp_table(inflights: &[usize], shard_counts: &[usize], lines: u64) -> Table {
+/// The batch sweep as a rendered table: one row per `max_inflight`,
+/// one column per (shards × channels) pair, each cell `cycles/read
+/// (speedup vs the blocking single-channel 1×1 controller)`.
+pub fn mlp_table(
+    inflights: &[usize],
+    shard_counts: &[usize],
+    channel_counts: &[usize],
+    lines: u64,
+) -> Table {
     let mut header = vec!["inflight".to_string()];
-    for s in shard_counts {
-        header.push(format!("{s} shard{}", if *s == 1 { "" } else { "s" }));
+    for &s in shard_counts {
+        for &c in channel_counts {
+            header.push(format!("{s}sh x {c}ch"));
+        }
     }
     let mut table = Table::new(header);
-    let base_point = run_mlp_point(1, 1, lines);
+    let base_point = run_mlp_point(1, 1, 1, lines);
     let base = base_point.cycles_per_read();
     for &inflight in inflights {
         let mut row = vec![inflight.to_string()];
         for &shards in shard_counts {
-            let p = if (inflight, shards) == (1, 1) {
-                base_point
+            for &channels in channel_counts {
+                let p = if (inflight, shards, channels) == (1, 1, 1) {
+                    base_point
+                } else {
+                    run_mlp_point(inflight, shards, channels, lines)
+                };
+                row.push(format!(
+                    "{:7.1} cyc/read ({:4.2}x)",
+                    p.cycles_per_read(),
+                    base / p.cycles_per_read()
+                ));
+            }
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+// ---- End-to-end machine sweep over a recorded trace ----
+
+/// A benchmark trace captured once and replayed into every machine
+/// configuration, plus the pre-age feeds the workload declares — so
+/// every cell of the end-to-end sweep sees the identical dynamic
+/// instruction stream (trace-driven SimpleScalar style).
+#[derive(Debug, Clone)]
+pub struct E2eTrace {
+    player: TracePlayer,
+    ancient: Vec<u64>,
+    active: Vec<u64>,
+    warmup: u64,
+    measure: u64,
+}
+
+impl E2eTrace {
+    /// Records `warmup + measure` ops (capped at 1M; the player loops)
+    /// from the named benchmark's generator.
+    ///
+    /// The pre-age feeds treat the pointer-chase region as previously
+    /// written back (the structure — graph, netlist, tree — was built
+    /// in place by earlier program phases), so its reads take
+    /// Algorithm 1's sequence-fetch path rather than the clean-line
+    /// bypass: the miss-heavy regime the sweep is about.
+    pub fn record(benchmark: &str, warmup: u64, measure: u64) -> Self {
+        let profile = benchmark_profile(benchmark);
+        let chase_lines = profile.chase_bytes / 128;
+        let feeds = SpecWorkload::new(profile.clone());
+        let mut ancient: Vec<u64> =
+            (0..chase_lines).map(|i| CHASE_BASE + i * 128).collect();
+        ancient.extend(feeds.ancient_line_addrs());
+        let active: Vec<u64> = feeds.active_line_addrs().collect();
+        let mut rec = TraceRecorder::new(SpecWorkload::new(profile));
+        let ops = (warmup + measure).min(1_000_000);
+        for _ in 0..ops {
+            rec.next_op();
+        }
+        Self {
+            player: TracePlayer::new(benchmark.to_string(), rec.into_trace()),
+            ancient,
+            active,
+            warmup,
+            measure,
+        }
+    }
+
+    /// The trace's benchmark name.
+    pub fn name(&self) -> &str {
+        self.player.name()
+    }
+}
+
+/// One cell of the end-to-end sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct E2ePoint {
+    /// Hierarchy MSHR depth for this run.
+    pub l2_mshrs: usize,
+    /// DRAM channel (and paired SNC shard) count for this run.
+    pub mem_channels: usize,
+    /// Engine in-flight bound for this run.
+    pub max_inflight: usize,
+    /// Cycles of the measured window.
+    pub cycles: u64,
+    /// Ops committed in the measured window.
+    pub instructions: u64,
+}
+
+impl E2ePoint {
+    /// Cycles per instruction of the measured window.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.instructions.max(1) as f64
+    }
+}
+
+/// The machine the end-to-end sweep measures: the paper's OTP machine
+/// with a deliberately small (64-entry) LRU SNC so a miss-heavy trace
+/// keeps taking Algorithm 1's sequence-fetch path, on a deeper
+/// (128-entry ROB) out-of-order window so the trace's own MLP is
+/// visible to the MSHR file. The SNC shard count is paired with the
+/// channel count — each (shard, channel) pair is one independent
+/// memory controller.
+pub fn e2e_machine_config(
+    l2_mshrs: usize,
+    mem_channels: usize,
+    max_inflight: usize,
+) -> MachineConfig {
+    let snc = SncConfig::paper_default().with_capacity(128);
+    let mut cfg = MachineConfig::paper(SecurityMode::Otp { snc });
+    cfg.pipeline.rob_size = 128;
+    cfg.hierarchy.l2_mshrs = l2_mshrs;
+    cfg.security = cfg
+        .security
+        .with_max_inflight(max_inflight)
+        .with_snc_shards(mem_channels)
+        .with_mem_channels(mem_channels);
+    cfg
+}
+
+/// Runs one end-to-end cell: the recorded trace through a full machine
+/// (core + hierarchy + engine) at the given MSHR/channel/inflight
+/// depth.
+pub fn run_e2e_point(
+    trace: &E2eTrace,
+    l2_mshrs: usize,
+    mem_channels: usize,
+    max_inflight: usize,
+) -> E2ePoint {
+    let mut machine = Machine::new(e2e_machine_config(l2_mshrs, mem_channels, max_inflight));
+    machine
+        .core_mut()
+        .hierarchy_mut()
+        .backend_mut()
+        .pre_age(trace.ancient.iter().copied(), trace.active.iter().copied());
+    let mut player = trace.player.clone();
+    let m = machine.run(&mut player, trace.warmup, trace.measure);
+    E2ePoint {
+        l2_mshrs,
+        mem_channels,
+        max_inflight,
+        cycles: m.stats.cycles,
+        instructions: m.stats.instructions,
+    }
+}
+
+/// The engine depth each MSHR level runs with: four transactions per
+/// MSHR, capped at 32 — so the acceptance configuration
+/// (`l2_mshrs = 8`) runs `max_inflight = 32`. With one MSHR the
+/// hierarchy hands the engine one miss at a time, so that row is the
+/// blocking paper machine regardless of the engine bound.
+pub fn inflight_for(l2_mshrs: usize) -> usize {
+    (4 * l2_mshrs).min(32)
+}
+
+/// The full end-to-end sweep as a rendered table: one row per MSHR
+/// depth, one column per channel count, each cell
+/// `CPI (speedup vs the 1-MSHR 1-channel paper machine)`.
+pub fn e2e_table(trace: &E2eTrace, mshr_counts: &[usize], channel_counts: &[usize]) -> Table {
+    let mut header = vec!["mshrs".to_string()];
+    for &c in channel_counts {
+        header.push(format!("{c} channel{}", if c == 1 { "" } else { "s" }));
+    }
+    let mut table = Table::new(header);
+    let base = run_e2e_point(trace, 1, 1, 1);
+    for &mshrs in mshr_counts {
+        let mut row = vec![mshrs.to_string()];
+        for &channels in channel_counts {
+            let p = if (mshrs, channels) == (1, 1) {
+                base
             } else {
-                run_mlp_point(inflight, shards, lines)
+                run_e2e_point(trace, mshrs, channels, inflight_for(mshrs))
             };
             row.push(format!(
-                "{:7.1} cyc/read ({:4.2}x)",
-                p.cycles_per_read(),
-                base / p.cycles_per_read()
+                "{:5.2} CPI ({:4.2}x)",
+                p.cpi(),
+                base.cycles as f64 / p.cycles as f64
             ));
         }
         table.push_row(row);
@@ -116,7 +311,7 @@ mod tests {
         let lines = 512;
         let mut last = u64::MAX;
         for inflight in [1usize, 2, 4, 8, 16] {
-            let p = run_mlp_point(inflight, 1, lines);
+            let p = run_mlp_point(inflight, 1, 1, lines);
             assert!(
                 p.total_cycles <= last,
                 "inflight {inflight}: {} after {last}",
@@ -125,8 +320,8 @@ mod tests {
             last = p.total_cycles;
         }
         // And the gain is substantial, not marginal.
-        let serial = run_mlp_point(1, 1, lines);
-        let deep = run_mlp_point(16, 1, lines);
+        let serial = run_mlp_point(1, 1, 1, lines);
+        let deep = run_mlp_point(16, 1, 1, lines);
         assert!(
             serial.total_cycles as f64 / deep.total_cycles as f64 > 2.0,
             "serial {} vs deep {}",
@@ -138,8 +333,8 @@ mod tests {
     #[test]
     fn sharding_relieves_port_contention_under_deep_inflight() {
         let lines = 512;
-        let one = run_mlp_point(16, 1, lines);
-        let four = run_mlp_point(16, 4, lines);
+        let one = run_mlp_point(16, 1, 1, lines);
+        let four = run_mlp_point(16, 4, 1, lines);
         assert!(
             four.total_cycles <= one.total_cycles,
             "4 shards {} vs 1 shard {}",
@@ -149,11 +344,81 @@ mod tests {
     }
 
     #[test]
-    fn table_has_a_row_per_inflight_level() {
-        let t = mlp_table(&[1, 4], &[1, 2], 128);
+    fn channels_relieve_dram_contention_under_deep_inflight() {
+        let lines = 512;
+        let one = run_mlp_point(32, 4, 1, lines);
+        let four = run_mlp_point(32, 4, 4, lines);
+        assert!(
+            four.total_cycles < one.total_cycles,
+            "4 channels {} vs 1 channel {}",
+            four.total_cycles,
+            one.total_cycles
+        );
+    }
+
+    #[test]
+    fn table_has_a_row_per_inflight_level_and_channel_columns() {
+        let t = mlp_table(&[1, 4], &[1], &[1, 2], 128);
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.col_count(), 3);
         let text = t.render_text();
         assert!(text.contains("cyc/read"), "{text}");
+        assert!(text.contains("2ch"), "channel axis must print: {text}");
+    }
+
+    #[test]
+    fn e2e_acceptance_deep_machine_doubles_throughput_on_real_trace() {
+        // The acceptance configuration of the non-blocking refactor:
+        // l2_mshrs = 8, mem_channels = 4, max_inflight = 32 must be at
+        // least 2x faster end-to-end than the paper-default blocking
+        // machine on a miss-heavy recorded benchmark trace.
+        let trace = E2eTrace::record("bfs", 40_000, 120_000);
+        let base = run_e2e_point(&trace, 1, 1, 1);
+        let deep = run_e2e_point(&trace, 8, 4, 32);
+        assert_eq!(base.instructions, deep.instructions);
+        let speedup = base.cycles as f64 / deep.cycles as f64;
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x, got {speedup:.2}x (base {} vs deep {})",
+            base.cycles,
+            deep.cycles
+        );
+    }
+
+    #[test]
+    fn e2e_speedup_is_monotonic_in_mshr_depth() {
+        let trace = E2eTrace::record("bfs", 20_000, 60_000);
+        let mut last: Option<u64> = None;
+        for mshrs in [1usize, 2, 8] {
+            let p = run_e2e_point(&trace, mshrs, 2, inflight_for(mshrs));
+            if let Some(best) = last {
+                // Deeper files must not lose more than 2% to drain
+                // batching (late dependent discovery).
+                assert!(
+                    p.cycles <= best + best / 50,
+                    "mshrs {mshrs}: {} after {best}",
+                    p.cycles
+                );
+            }
+            last = Some(last.map_or(p.cycles, |best| best.min(p.cycles)));
+        }
+    }
+
+    #[test]
+    fn e2e_table_prints_channel_axis() {
+        let trace = E2eTrace::record("bfs", 5_000, 20_000);
+        let t = e2e_table(&trace, &[1, 8], &[1, 4]);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.col_count(), 3);
+        let text = t.render_text();
+        assert!(text.contains("4 channels"), "{text}");
+        assert!(text.contains("CPI"), "{text}");
+    }
+
+    #[test]
+    fn inflight_pairing_caps_at_32() {
+        assert_eq!(inflight_for(1), 4);
+        assert_eq!(inflight_for(8), 32);
+        assert_eq!(inflight_for(16), 32);
     }
 }

@@ -196,7 +196,13 @@ pub struct SecureBackendConfig {
     pub mem_latency: u64,
     /// Channel occupancy per transaction.
     pub mem_occupancy: u64,
-    /// Write-buffer entries.
+    /// Independent line-address-interleaved DRAM channels. Line `i`
+    /// lives on channel `i % mem_channels` — the same interleaving the
+    /// SNC shards use, so an `N`-channel, `N`-shard machine pairs each
+    /// shard with its own memory controller. `1` is the paper's single
+    /// shared channel.
+    pub mem_channels: usize,
+    /// Write-buffer entries (per channel).
     pub write_buffer_entries: usize,
     /// Whether reads of lines never written back bypass the SNC
     /// (sequence number is known to be zero). See DESIGN.md §3.
@@ -231,6 +237,7 @@ impl SecureBackendConfig {
             line_bytes: 128,
             mem_latency: 100,
             mem_occupancy: 8,
+            mem_channels: 1,
             write_buffer_entries: 8,
             clean_lines_bypass: true,
             seed_scheme: SeedScheme::PaperAdditive,
@@ -263,6 +270,12 @@ impl SecureBackendConfig {
     /// Builder: set the number of address-interleaved SNC shards.
     pub fn with_snc_shards(mut self, n: usize) -> Self {
         self.snc_shards = n;
+        self
+    }
+
+    /// Builder: set the number of line-interleaved DRAM channels.
+    pub fn with_mem_channels(mut self, n: usize) -> Self {
+        self.mem_channels = n;
         self
     }
 
@@ -337,6 +350,7 @@ mod tests {
         // Paper defaults model the blocking single-controller machine.
         assert_eq!(cfg.max_inflight, 1);
         assert_eq!(cfg.snc_shards, 1);
+        assert_eq!(cfg.mem_channels, 1);
     }
 
     #[test]
@@ -344,9 +358,11 @@ mod tests {
         let cfg = SecureBackendConfig::paper(SecurityMode::otp_lru_64k())
             .with_max_inflight(8)
             .with_snc_shards(4)
+            .with_mem_channels(4)
             .with_snc_port_cycles(12);
         assert_eq!(cfg.max_inflight, 8);
         assert_eq!(cfg.snc_shards, 4);
+        assert_eq!(cfg.mem_channels, 4);
         assert_eq!(cfg.snc_port_cycles, 12);
     }
 }

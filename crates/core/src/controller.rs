@@ -55,8 +55,8 @@ use crate::config::{SecureBackendConfig, SecurityMode, SncPolicy};
 use crate::engine::{CryptoTimeline, MemTxn, SncPorts, TxnOp};
 use crate::snc::SncLookup;
 use crate::snc_shards::SncShards;
-use padlock_cpu::{LineKind, MemoryBackend, MemoryChannel};
-use padlock_mem::TrafficClass;
+use padlock_cpu::{LineKind, MemoryBackend};
+use padlock_mem::{ChannelSet, TrafficClass};
 use padlock_stats::CounterSet;
 use std::collections::{HashSet, VecDeque};
 
@@ -80,7 +80,7 @@ use std::collections::{HashSet, VecDeque};
 #[derive(Debug)]
 pub struct SecureBackend {
     config: SecureBackendConfig,
-    channel: MemoryChannel,
+    channels: ChannelSet,
     snc: Option<SncShards>,
     /// Lines that have ever been written back (their in-memory copy is
     /// OTP-dynamic or, under a full no-replacement SNC, direct-encrypted).
@@ -140,10 +140,13 @@ impl SecureBackend {
     pub fn new(config: SecureBackendConfig) -> Self {
         assert!(config.max_inflight > 0, "max_inflight must be positive");
         assert!(config.snc_shards > 0, "snc_shards must be positive");
-        let channel = MemoryChannel::new(
+        assert!(config.mem_channels > 0, "mem_channels must be positive");
+        let channels = ChannelSet::new(
+            config.mem_channels,
             config.mem_latency,
             config.mem_occupancy,
             config.write_buffer_entries,
+            u64::from(config.line_bytes),
         );
         let snc = match config.mode {
             SecurityMode::Otp { snc } => Some(SncShards::new(snc, config.snc_shards)),
@@ -151,7 +154,7 @@ impl SecureBackend {
         };
         Self {
             config,
-            channel,
+            channels,
             snc,
             written: HashSet::new(),
             pending_spills: 0,
@@ -225,7 +228,7 @@ impl SecureBackend {
         self.pending_spills += 1;
         if self.pending_spills >= SPILL_BATCH {
             self.pending_spills = 0;
-            self.channel.enqueue_write(
+            self.channels.enqueue_write(
                 now,
                 ready_at,
                 line_addr,
@@ -243,7 +246,7 @@ impl SecureBackend {
         let entries = self.pending_spills;
         if entries > 0 {
             self.pending_spills = 0;
-            self.channel.enqueue_write(
+            self.channels.enqueue_write(
                 now,
                 now + self.crypto_latency(),
                 0,
@@ -276,6 +279,11 @@ impl SecureBackend {
         self.snc.as_ref()
     }
 
+    /// The DRAM channel fabric (per-channel occupancy and statistics).
+    pub fn channels(&self) -> &ChannelSet {
+        &self.channels
+    }
+
     /// Controller event counters (`otp_fast_reads`, `xom_reads`,
     /// `snc_fetch_reads`, `mshr_merged_reads`, ...).
     pub fn controller_stats(&self) -> &CounterSet {
@@ -298,7 +306,7 @@ impl SecureBackend {
         let entries = snc.flush();
         let ready = now + self.crypto_latency();
         for e in &entries {
-            self.channel
+            self.channels
                 .enqueue_write(now, ready, e.line_addr, TrafficClass::SeqWrite, 8);
         }
         self.stats.add("context_flush_entries", entries.len() as u64);
@@ -325,15 +333,15 @@ impl SecureBackend {
         match self.config.mode {
             SecurityMode::Insecure => {
                 slot.fetched =
-                    self.channel
-                        .demand_read(txn.arrival, TrafficClass::LineRead, bytes);
+                    self.channels
+                        .demand_read(txn.arrival, txn.line_addr, TrafficClass::LineRead, bytes);
             }
             SecurityMode::Xom => {
                 self.stats.incr("xom_reads");
                 slot.path = Path::Direct;
                 slot.fetched =
-                    self.channel
-                        .demand_read(txn.arrival, TrafficClass::LineRead, bytes);
+                    self.channels
+                        .demand_read(txn.arrival, txn.line_addr, TrafficClass::LineRead, bytes);
             }
             SecurityMode::Otp { snc: snc_cfg } => {
                 // Instructions are only ever read: their seed is the
@@ -353,9 +361,12 @@ impl SecureBackend {
                 if fast {
                     self.stats.incr("otp_fast_reads");
                     slot.path = Path::Fast;
-                    slot.fetched =
-                        self.channel
-                            .demand_read(txn.arrival, TrafficClass::LineRead, bytes);
+                    slot.fetched = self.channels.demand_read(
+                        txn.arrival,
+                        txn.line_addr,
+                        TrafficClass::LineRead,
+                        bytes,
+                    );
                     slot.crypto_done = crypto.issue_pad(txn.arrival);
                     return slot;
                 }
@@ -365,9 +376,12 @@ impl SecureBackend {
                     SncLookup::Hit(_) => {
                         self.stats.incr("otp_fast_reads");
                         slot.path = Path::Fast;
-                        slot.fetched =
-                            self.channel
-                                .demand_read(lookup_at, TrafficClass::LineRead, bytes);
+                        slot.fetched = self.channels.demand_read(
+                            lookup_at,
+                            txn.line_addr,
+                            TrafficClass::LineRead,
+                            bytes,
+                        );
                         slot.crypto_done = crypto.issue_pad(lookup_at);
                     }
                     SncLookup::Miss => match snc_cfg.policy {
@@ -376,20 +390,22 @@ impl SecureBackend {
                         SncPolicy::NoReplacement => {
                             self.stats.incr("xom_reads");
                             slot.path = Path::Direct;
-                            slot.fetched = self.channel.demand_read(
+                            slot.fetched = self.channels.demand_read(
                                 lookup_at,
+                                txn.line_addr,
                                 TrafficClass::LineRead,
                                 bytes,
                             );
                         }
-                        // Algorithm 1: fetch the sequence number first;
-                        // the decrypt and overlapped line fetch follow
-                        // in the later phases.
+                        // Algorithm 1: fetch the sequence number first
+                        // (from the line's own channel); the decrypt and
+                        // overlapped line fetch follow in later phases.
                         SncPolicy::Lru => {
                             self.stats.incr("snc_fetch_reads");
                             slot.path = Path::SeqFetch;
-                            slot.fetched = self.channel.demand_read(
+                            slot.fetched = self.channels.demand_read(
                                 lookup_at,
+                                txn.line_addr,
                                 TrafficClass::SeqRead,
                                 bytes,
                             );
@@ -475,8 +491,9 @@ impl SecureBackend {
                 Path::Alias(p) => slots[p].done,
                 Path::SeqFetch => {
                     let seq_ready = crypto_done;
-                    let line_fetched = self.channel.demand_read(
+                    let line_fetched = self.channels.demand_read(
                         seq_ready,
+                        slots[i].txn.line_addr,
                         TrafficClass::LineRead,
                         self.config.line_bytes,
                     );
@@ -507,13 +524,13 @@ impl SecureBackend {
         let bytes = self.config.line_bytes;
         match self.config.mode {
             SecurityMode::Insecure => {
-                self.channel
+                self.channels
                     .enqueue_write(now, now, line_addr, TrafficClass::LineWrite, bytes);
             }
             SecurityMode::Xom => {
                 // Encrypt in the write buffer, then drain.
                 let ready = now + self.crypto_latency();
-                self.channel
+                self.channels
                     .enqueue_write(now, ready, line_addr, TrafficClass::LineWrite, bytes);
             }
             SecurityMode::Otp { snc: snc_cfg } => {
@@ -545,8 +562,9 @@ impl SecureBackend {
                                 // Update miss, Algorithm 1 lines 13-25:
                                 // fetch + decrypt the old number first.
                                 self.stats.incr("snc_fetch_updates");
-                                let seq_fetched = self.channel.demand_read(
+                                let seq_fetched = self.channels.demand_read(
                                     now,
+                                    line_addr,
                                     TrafficClass::SeqRead,
                                     bytes,
                                 );
@@ -561,7 +579,7 @@ impl SecureBackend {
                         }
                     }
                 };
-                self.channel
+                self.channels
                     .enqueue_write(now, ready, line_addr, TrafficClass::LineWrite, bytes);
             }
         }
@@ -588,6 +606,18 @@ impl MemoryBackend for SecureBackend {
         out
     }
 
+    fn line_read_batch_at(&mut self, reqs: &[(u64, u64, LineKind)]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for &(at, line_addr, kind) in reqs {
+            if self.queue.len() >= self.config.max_inflight {
+                self.drain_window(&mut out);
+            }
+            self.queue.push_back(MemTxn::read(at, line_addr, kind));
+        }
+        self.drain_window(&mut out);
+        out
+    }
+
     fn line_writeback(&mut self, now: u64, line_addr: u64) {
         self.queue.push_back(MemTxn::writeback(now, line_addr));
         let mut out = Vec::new();
@@ -598,14 +628,17 @@ impl MemoryBackend for SecureBackend {
         let mut out = Vec::new();
         self.drain_window(&mut out);
         self.flush_spills(now);
+        // Force residual buffered writebacks out so per-channel
+        // LineWrite/SeqWrite counters are exact at window end.
+        self.channels.flush_writes(now);
     }
 
-    fn traffic(&self) -> &CounterSet {
-        self.channel.mem().stats()
+    fn traffic(&self) -> CounterSet {
+        self.channels.stats()
     }
 
     fn reset_stats(&mut self) {
-        self.channel.reset_stats();
+        self.channels.reset_stats();
         self.stats.reset();
         if let Some(snc) = self.snc.as_mut() {
             snc.reset_stats();
@@ -616,6 +649,9 @@ impl MemoryBackend for SecureBackend {
         let mut label = self.config.mode.to_string();
         if self.config.snc_shards > 1 {
             label.push_str(&format!(" x{} shards", self.config.snc_shards));
+        }
+        if self.config.mem_channels > 1 {
+            label.push_str(&format!(" x{}ch", self.config.mem_channels));
         }
         if self.config.max_inflight > 1 {
             label.push_str(&format!(" mlp{}", self.config.max_inflight));

@@ -121,7 +121,7 @@ impl Machine {
         Measurement {
             stats,
             l2: h.l2_stats().clone(),
-            traffic: h.backend().traffic().clone(),
+            traffic: h.backend().traffic(),
             controller: h.backend().controller_stats().clone(),
             snc: h
                 .backend()

@@ -247,7 +247,7 @@ fn assert_equivalent(mode: SecurityMode, occupancy: u64, slow_crypto: bool, seed
         }
     }
     assert_eq!(
-        counters(engine.traffic()),
+        counters(&engine.traffic()),
         counters(reference.channel.mem().stats()),
         "traffic counters diverged"
     );

@@ -43,7 +43,8 @@ mod pipeline;
 
 pub use bpred::{BimodalPredictor, BranchPredictor, GsharePredictor};
 pub use hierarchy::{
-    Hierarchy, HierarchyConfig, InsecureBackend, LineKind, MemoryBackend, MemoryChannel,
+    Access, AccessToken, Hierarchy, HierarchyConfig, InsecureBackend, LineKind, MemoryBackend,
+    MemoryChannel,
 };
 pub use op::{MicroOp, OpClass, StrideWorkload, Workload};
 pub use pipeline::{Core, PipelineConfig, RunStats};

@@ -2,9 +2,9 @@
 //! commit over a reorder buffer, with event-skipping for speed.
 
 use crate::bpred::{BimodalPredictor, BranchPredictor};
-use crate::hierarchy::{Hierarchy, MemoryBackend};
+use crate::hierarchy::{Access, AccessToken, Hierarchy, MemoryBackend};
 use crate::op::{OpClass, Workload};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Pipeline widths and structure sizes.
 ///
@@ -91,6 +91,9 @@ impl RunStats {
 
 const NO_DEP: u64 = u64::MAX;
 const NOT_ISSUED: u64 = u64::MAX;
+/// Completion sentinel for a load waiting on an in-flight L2 miss; the
+/// real cycle arrives when the hierarchy drains its MSHR file.
+const PENDING: u64 = u64::MAX - 1;
 
 #[derive(Debug, Clone, Copy)]
 enum SlotKind {
@@ -189,6 +192,11 @@ impl<B: MemoryBackend> Core<B> {
         let mut dispatched: u64 = 0;
         let mut committed: u64 = 0;
 
+        // Loads waiting on in-flight L2 misses: MSHR token -> absolute
+        // ROB sequence number of the load's slot.
+        let mut pending_loads: HashMap<AccessToken, u64> = HashMap::new();
+        let mut resolved_buf: Vec<(AccessToken, u64)> = Vec::new();
+
         // Front-end state.
         let mut fetch_ready_at: u64 = 0; // I-miss stall
         let mut redirect_pending = false; // mispredict: blocked until resolve
@@ -200,6 +208,36 @@ impl<B: MemoryBackend> Core<B> {
         while committed < n_ops {
             let now = self.now;
             let mut progress = false;
+
+            // ---- Collect resolved fills ----
+            // A hierarchy drain (MSHR-file exhaustion inside an access,
+            // or the forced stall-on-use drain below) resolves pending
+            // loads to their real completion cycles.
+            self.hierarchy.take_resolutions(&mut resolved_buf);
+            for (token, done) in resolved_buf.drain(..) {
+                let Some(seq) = pending_loads.remove(&token) else {
+                    continue; // fire-and-forget store fill
+                };
+                if seq >= base {
+                    let idx = (seq - base) as usize;
+                    rob[idx].complete_at = done;
+                }
+            }
+
+            // ---- Stall on use ----
+            // The oldest op is a load still waiting on an in-flight
+            // miss: commit is blocked on it, so the MSHR file drains
+            // now — issuing every accumulated miss as one batch (each
+            // charged from its own arrival) — and this cycle re-runs
+            // with the resolved completion cycles.
+            if self.hierarchy.pending_misses() > 0
+                && rob
+                    .front()
+                    .is_some_and(|s| s.issued && s.complete_at == PENDING)
+            {
+                self.hierarchy.drain_pending();
+                continue;
+            }
 
             // ---- Commit ----
             let mut commits = 0;
@@ -251,11 +289,20 @@ impl<B: MemoryBackend> Core<B> {
                 }
                 let complete_at = match slot.kind {
                     SlotKind::Fixed(lat) => now + lat,
-                    SlotKind::Load(addr) => self.hierarchy.data_access(now, addr, false),
+                    SlotKind::Load(addr) => match self.hierarchy.data_access_nb(now, addr, false) {
+                        Access::Ready(done) => done,
+                        Access::Pending(token) => {
+                            // The miss sits in the MSHR file; the slot
+                            // completes when a drain resolves it.
+                            pending_loads.insert(token, base + i as u64);
+                            PENDING
+                        }
+                    },
                     SlotKind::Store(addr) => {
                         // The store retires via the store buffer; the line
-                        // fill proceeds in the background.
-                        self.hierarchy.data_access(now, addr, true);
+                        // fill proceeds in the background (a pending fill
+                        // stays in the MSHR file until a later drain).
+                        let _ = self.hierarchy.data_access_nb(now, addr, true);
                         now + 1
                     }
                     SlotKind::BranchRedirect => {
@@ -356,10 +403,12 @@ impl<B: MemoryBackend> Core<B> {
             if progress {
                 self.now += 1;
             } else {
-                // Nothing happened: skip to the next event.
+                // Nothing happened: skip to the next event. Pending
+                // loads have no completion cycle yet; they are excluded
+                // here and force a drain when nothing else can run.
                 let mut next = u64::MAX;
                 for s in &rob {
-                    if s.issued && s.complete_at > now {
+                    if s.issued && s.complete_at != PENDING && s.complete_at > now {
                         next = next.min(s.complete_at);
                     }
                 }
@@ -369,6 +418,14 @@ impl<B: MemoryBackend> Core<B> {
                 if fetch_resume_at > now && !redirect_pending {
                     next = next.min(fetch_resume_at);
                 }
+                if next == u64::MAX && self.hierarchy.pending_misses() > 0 {
+                    // Stall on use: every runnable op waits on an
+                    // in-flight miss, so the MSHR file drains. Each
+                    // miss is charged from its own arrival cycle, so
+                    // batching them here costs no simulated time.
+                    self.hierarchy.drain_pending();
+                    continue;
+                }
                 debug_assert!(
                     next != u64::MAX,
                     "stalled with no future event: rob={rob:?}"
@@ -376,6 +433,13 @@ impl<B: MemoryBackend> Core<B> {
                 self.now = if next == u64::MAX { now + 1 } else { next };
             }
         }
+
+        // Window wrap-up: issue fills still sitting in the MSHR file
+        // (fire-and-forget store misses, loads past the commit target)
+        // so their memory traffic lands in this window's counters.
+        self.hierarchy.drain_pending();
+        self.hierarchy.take_resolutions(&mut resolved_buf);
+        resolved_buf.clear();
 
         stats.instructions = committed;
         stats.cycles = self.now - start_cycle;

@@ -1,10 +1,13 @@
 //! Main-memory models for the `padlock` secure-processor simulator.
 //!
-//! Three independent pieces:
+//! Four independent pieces:
 //!
 //! * [`MemTimingModel`] — the flat-latency DRAM + shared-channel occupancy
 //!   model the paper assumes (100-cycle reads), with traffic accounting by
 //!   class so Fig. 9 (SNC-induced traffic) can be reproduced;
+//! * [`MemoryChannel`] / [`ChannelSet`] — one write-buffered DRAM channel,
+//!   and the line-address-interleaved multi-channel fabric that lets a
+//!   transaction engine spread independent misses over `N` controllers;
 //! * [`SparseMemory`] — a functional, page-sparse byte store holding real
 //!   (cipher)text for the functional security layer and the tiny-ISA VM;
 //! * [`RegionMap`] — an address-range → attribute map used to mark
@@ -23,10 +26,12 @@
 
 #![warn(missing_docs)]
 
+mod channel;
 mod region;
 mod sparse;
 mod timing;
 
+pub use channel::{ChannelSet, MemoryChannel};
 pub use region::{RegionMap, RegionOverlap};
 pub use sparse::SparseMemory;
 pub use timing::{MemTimingModel, TrafficClass};

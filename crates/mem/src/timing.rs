@@ -24,7 +24,10 @@ pub enum TrafficClass {
 }
 
 impl TrafficClass {
-    fn counter(self) -> &'static str {
+    /// The event-counter name this class records under (`line_reads`,
+    /// `seq_writes`, ...), shared by every timing model so aggregated
+    /// and per-channel statistics stay comparable.
+    pub fn counter(self) -> &'static str {
         match self {
             TrafficClass::LineRead => "line_reads",
             TrafficClass::LineWrite => "line_writes",
@@ -34,7 +37,9 @@ impl TrafficClass {
         }
     }
 
-    fn bytes_counter(self) -> &'static str {
+    /// The byte-counter name this class records under
+    /// (`line_read_bytes`, ...).
+    pub fn bytes_counter(self) -> &'static str {
         match self {
             TrafficClass::LineRead => "line_read_bytes",
             TrafficClass::LineWrite => "line_write_bytes",

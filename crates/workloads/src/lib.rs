@@ -35,5 +35,8 @@ mod spec;
 mod trace;
 
 pub use profile::SpecProfile;
-pub use spec::{benchmark_profile, spec2000_suite, SpecWorkload, BENCHMARK_NAMES};
+pub use spec::{
+    benchmark_profile, spec2000_suite, SpecWorkload, ANCIENT_BASE, BENCHMARK_NAMES, CHASE_BASE,
+    CODE_BASE, DRIFT_BASE, HOT_BASE, STREAM_BASE, STRESS_NAMES,
+};
 pub use trace::{TracePlayer, TraceRecorder};

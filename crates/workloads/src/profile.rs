@@ -64,6 +64,12 @@ pub struct SpecProfile {
     pub ancient_lines: u64,
     /// Whether chase loads form a serial dependence chain (no MLP).
     pub serial_chase: bool,
+    /// Whether chase loads are data-independent of nearby ops —
+    /// index-array / frontier style (BFS, hash probing), where the
+    /// addresses were produced long before. Ignored when
+    /// `serial_chase` is set; when both are false, chase loads depend
+    /// on a producer a few ops back like every other load.
+    pub independent_chase: bool,
     /// Instruction footprint in bytes.
     pub code_bytes: u64,
     /// Fraction of branch sites with effectively random outcomes.
@@ -93,6 +99,7 @@ impl SpecProfile {
             drift_cold_read_frac: 0.0,
             ancient_lines: 2 * 1024,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 16 << 10,
             branch_flip_frac: 0.05,
             seed,

@@ -288,6 +288,11 @@ impl Workload for SpecWorkload {
                 let d = self.ops_since_chase_load;
                 self.ops_since_chase_load = 0;
                 d
+            } else if is_chase && self.profile.independent_chase {
+                // Frontier/index-array traversal: the address came from
+                // a queue filled long ago — no nearby producer.
+                self.ops_since_chase_load = 0;
+                0
             } else {
                 if is_chase {
                     self.ops_since_chase_load = 0;
@@ -345,6 +350,10 @@ pub const BENCHMARK_NAMES: [&str; 11] = [
     "ammp", "art", "bzip2", "equake", "gcc", "gzip", "mcf", "mesa", "parser", "vortex", "vpr",
 ];
 
+/// Profiles [`benchmark_profile`] knows beyond the 11 figure
+/// benchmarks: stress workloads for the MLP sweeps.
+pub const STRESS_NAMES: [&str; 1] = ["bfs"];
+
 /// Builds the full 11-benchmark suite in the paper's figure order.
 ///
 /// The behavioural parameters are calibrated so the *baseline* miss
@@ -385,6 +394,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.25,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 32 << 10,
             branch_flip_frac: 0.06,
             seed: 0xa301,
@@ -409,6 +419,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 2 * 1024,
             drift_cold_read_frac: 0.0,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 16 << 10,
             branch_flip_frac: 0.03,
             seed: 0xa302,
@@ -433,6 +444,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 4 * 1024,
             drift_cold_read_frac: 0.1,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 32 << 10,
             branch_flip_frac: 0.1,
             seed: 0xa303,
@@ -457,6 +469,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 4 * 1024,
             drift_cold_read_frac: 0.0,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 32 << 10,
             branch_flip_frac: 0.04,
             seed: 0xa304,
@@ -482,6 +495,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.025,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 64 << 10,
             branch_flip_frac: 0.12,
             seed: 0xa305,
@@ -505,6 +519,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.15,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 16 << 10,
             branch_flip_frac: 0.08,
             seed: 0xa306,
@@ -529,6 +544,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.1,
             serial_chase: true,
+            independent_chase: false,
             code_bytes: 16 << 10,
             branch_flip_frac: 0.15,
             seed: 0xa307,
@@ -552,6 +568,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 2 * 1024,
             drift_cold_read_frac: 0.0,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 32 << 10,
             branch_flip_frac: 0.04,
             seed: 0xa308,
@@ -576,6 +593,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.02,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 64 << 10,
             branch_flip_frac: 0.12,
             seed: 0xa309,
@@ -600,6 +618,7 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.05,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 64 << 10,
             branch_flip_frac: 0.08,
             seed: 0xa30a,
@@ -624,9 +643,40 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             ancient_lines: 2 * 1024,
             drift_cold_read_frac: 0.0,
             serial_chase: false,
+            independent_chase: false,
             code_bytes: 32 << 10,
             branch_flip_frac: 0.1,
             seed: 0xa30b,
+        },
+        // Graph traversal (breadth-first over a large out-of-core
+        // adjacency structure): dense *independent* random reads —
+        // frontier vertices were queued long before their neighbour
+        // lists are fetched — plus a store front writing visit marks.
+        // Not one of the paper's 11 figure benchmarks; this is the
+        // memory-level-parallelism stress workload the `repro --mlp`
+        // end-to-end sweep records its trace from.
+        "bfs" => SpecProfile {
+            name: "bfs",
+            load_frac: 0.44,
+            store_frac: 0.12,
+            branch_frac: 0.12,
+            fp_frac: 0.0,
+            hot_bytes: 48 << 10,
+            stream_bytes: 0,
+            chase_bytes: 32 << 20,
+            drift_region_bytes: 16 << 20,
+            drift_window_bytes: 1 << 20,
+            drift_advance_every: 1,
+            drift_line_stride: 1,
+            read_mix: [0.17, 0.0, 0.73, 0.1],
+            write_mix: [0.2, 0.0, 0.0, 0.8],
+            ancient_lines: 96 * 1024,
+            drift_cold_read_frac: 0.3,
+            serial_chase: false,
+            independent_chase: true,
+            code_bytes: 16 << 10,
+            branch_flip_frac: 0.08,
+            seed: 0xa30c,
         },
         other => panic!("unknown benchmark {other:?}"),
     };
