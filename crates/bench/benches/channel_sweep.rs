@@ -1,8 +1,9 @@
 //! Criterion bench over the multi-channel DRAM fabric: wall time of
 //! simulating the engine's miss-heavy batch and the end-to-end recorded
-//! trace across the `mem_channels` axis (the simulated-cycle speedup
-//! tables themselves are printed by `repro --mlp` and regression-tested
-//! in `padlock_bench::mlp`).
+//! trace across the `mem_channels` and `mem_banks` axes (the
+//! simulated-cycle speedup tables themselves are printed by
+//! `repro --mlp` / `repro --mlp --banks` and regression-tested in
+//! `padlock_bench::mlp`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use padlock_bench::{run_e2e_point, run_mlp_point, E2eTrace};
@@ -15,7 +16,16 @@ fn channel_sweep(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("batch", format!("{channels}ch")),
             &channels,
-            |b, &channels| b.iter(|| run_mlp_point(16, 4, channels, lines)),
+            |b, &channels| b.iter(|| run_mlp_point(16, 4, channels, 1, lines)),
+        );
+    }
+    // The bank dimension: the same miss-heavy batch with row-buffer
+    // timing enabled beneath each channel.
+    for banks in [4usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("batch", format!("4ch{banks}bk")),
+            &banks,
+            |b, &banks| b.iter(|| run_mlp_point(16, 4, 4, banks, lines)),
         );
     }
     let trace = E2eTrace::record("bfs", 4_000, 12_000);
@@ -23,9 +33,22 @@ fn channel_sweep(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("e2e", format!("{channels}ch")),
             &channels,
-            |b, &channels| b.iter(|| run_e2e_point(&trace, 8, channels, 32)),
+            |b, &channels| b.iter(|| run_e2e_point(&trace, 8, channels, 1, 32)),
         );
     }
+    for banks in [4usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("e2e", format!("4ch{banks}bk")),
+            &banks,
+            |b, &banks| b.iter(|| run_e2e_point(&trace, 8, 4, banks, 32)),
+        );
+    }
+    let rstride = E2eTrace::record("rstride", 4_000, 12_000);
+    g.bench_with_input(
+        BenchmarkId::new("e2e_rstride", "4ch4bk"),
+        &4usize,
+        |b, &banks| b.iter(|| run_e2e_point(&rstride, 8, 4, banks, 32)),
+    );
     g.finish();
 }
 

@@ -16,7 +16,7 @@ fn mlp_sweep(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("inflight{inflight}"), format!("{shards}shard")),
                 &(inflight, shards),
-                |b, &(inflight, shards)| b.iter(|| run_mlp_point(inflight, shards, 1, lines)),
+                |b, &(inflight, shards)| b.iter(|| run_mlp_point(inflight, shards, 1, 1, lines)),
             );
         }
     }

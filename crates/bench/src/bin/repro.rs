@@ -7,6 +7,7 @@
 //! repro --csv target/repro   # also write CSV files
 //! repro --mlp            # engine + end-to-end MLP speedup tables
 //! repro --mlp --channels 1,2,4 --mshrs 1,4,8   # custom sweep axes
+//! repro --mlp --banks 1,2,4,8   # add the DRAM-bank / row-buffer sweep
 //! ```
 
 use padlock_bench::{E2eTrace, Lab, RunScale};
@@ -21,6 +22,7 @@ struct Args {
     mlp: bool,
     channels: Vec<usize>,
     mshrs: Vec<usize>,
+    banks: Option<Vec<usize>>,
     trace: String,
 }
 
@@ -54,6 +56,7 @@ fn parse_args() -> Args {
         mlp: false,
         channels: vec![1, 2, 4],
         mshrs: vec![1, 2, 4, 8],
+        banks: None,
         trace: "bfs".to_string(),
     };
     let mut iter = std::env::args().skip(1);
@@ -75,7 +78,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--calibrate [--snc]]\n\
-                     \x20      [--mlp [--channels A,B,..] [--mshrs A,B,..] [--trace BENCH]]\n\
+                     \x20      [--mlp [--channels A,B,..] [--mshrs A,B,..] [--banks A,B,..]\n\
+                     \x20       [--trace BENCH]]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
                      Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
                      --calibrate prints per-benchmark CPI/miss diagnostics instead;\n\
@@ -86,8 +90,11 @@ fn parse_args() -> Args {
                      benchmark trace (CPI), each with the speedup over the paper's\n\
                      blocking single-channel machine.\n\
                      --channels / --mshrs set the sweep axes (comma-separated);\n\
-                     --trace picks the recorded benchmark (default bfs, the\n\
-                     miss-heavy graph-traversal workload)."
+                     --banks additionally sweeps DRAM banks per channel with\n\
+                     row-buffer timing, comparing the chosen trace against the\n\
+                     row-conflict-bound rstride walk; --trace picks the recorded\n\
+                     benchmark (default bfs, the miss-heavy graph-traversal\n\
+                     workload)."
                 );
                 std::process::exit(0);
             }
@@ -101,6 +108,10 @@ fn parse_args() -> Args {
             "--mshrs" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--mshrs needs counts"));
                 args.mshrs = parse_axis("--mshrs", &v);
+            }
+            "--banks" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--banks needs counts"));
+                args.banks = Some(parse_axis("--banks", &v));
             }
             "--trace" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--trace needs a benchmark"));
@@ -202,6 +213,31 @@ fn mlp(args: &Args) {
     let trace = E2eTrace::record(&args.trace, warmup, measure);
     let table = padlock_bench::e2e_table(&trace, &args.mshrs, &args.channels);
     println!("{}", table.render_text());
+
+    if let Some(bank_axis) = &args.banks {
+        let channels = args.channels.iter().copied().max().unwrap_or(4);
+        println!(
+            "\n== MLP x banks — row-buffer locality end to end ({channels} channels, 8 MSHRs, 32 in-flight) =="
+        );
+        println!(
+            "(each channel gets N banks with open-row registers: hits cost {} cycles,\n\
+             precharge+activate conflicts {}; banks=1 is the paper's flat 100-cycle DRAM.\n\
+             Traces with independent in-flight misses (bfs) let banks overlap their\n\
+             activates; the rstride walk is serial and row-hops every access —\n\
+             conflict-bound at any width)\n",
+            padlock_mem::DEFAULT_ROW_HIT_CYCLES,
+            padlock_mem::DEFAULT_ROW_CONFLICT_CYCLES,
+        );
+        // The chosen trace is contrasted against the rstride walk —
+        // unless it *is* rstride, which then stands alone.
+        let table = if args.trace == "rstride" {
+            padlock_bench::bank_table(&[&trace], bank_axis, channels)
+        } else {
+            let rstride = E2eTrace::record("rstride", warmup, measure);
+            padlock_bench::bank_table(&[&trace, &rstride], bank_axis, channels)
+        };
+        println!("{}", table.render_text());
+    }
 }
 
 fn main() {

@@ -41,6 +41,8 @@ pub struct MlpPoint {
     pub snc_shards: usize,
     /// DRAM channel count for this run.
     pub mem_channels: usize,
+    /// DRAM banks per channel for this run (1 = flat).
+    pub mem_banks: usize,
     /// Reads retired.
     pub reads: usize,
     /// Cycle the last read retired (batch issued at cycle 0).
@@ -61,6 +63,7 @@ pub fn miss_heavy_backend(
     max_inflight: usize,
     snc_shards: usize,
     mem_channels: usize,
+    mem_banks: usize,
     lines: u64,
 ) -> SecureBackend {
     let snc = SncConfig::paper_default().with_capacity(128);
@@ -68,6 +71,7 @@ pub fn miss_heavy_backend(
         .with_max_inflight(max_inflight)
         .with_snc_shards(snc_shards)
         .with_mem_channels(mem_channels)
+        .with_mem_banks(mem_banks)
         .with_snc_port_cycles(SWEEP_SNC_PORT_CYCLES);
     let mut backend = SecureBackend::new(cfg);
     backend.pre_age((0..lines).map(line_addr), std::iter::empty());
@@ -86,9 +90,10 @@ pub fn run_mlp_point(
     max_inflight: usize,
     snc_shards: usize,
     mem_channels: usize,
+    mem_banks: usize,
     lines: u64,
 ) -> MlpPoint {
-    let mut backend = miss_heavy_backend(max_inflight, snc_shards, mem_channels, lines);
+    let mut backend = miss_heavy_backend(max_inflight, snc_shards, mem_channels, mem_banks, lines);
     let reqs: Vec<(u64, LineKind)> =
         (0..lines).map(|i| (line_addr(i), LineKind::Data)).collect();
     let dones = backend.line_read_batch(0, &reqs);
@@ -96,6 +101,7 @@ pub fn run_mlp_point(
         max_inflight,
         snc_shards,
         mem_channels,
+        mem_banks,
         reads: reqs.len(),
         total_cycles: dones.into_iter().max().unwrap_or(0),
     }
@@ -117,7 +123,7 @@ pub fn mlp_table(
         }
     }
     let mut table = Table::new(header);
-    let base_point = run_mlp_point(1, 1, 1, lines);
+    let base_point = run_mlp_point(1, 1, 1, 1, lines);
     let base = base_point.cycles_per_read();
     for &inflight in inflights {
         let mut row = vec![inflight.to_string()];
@@ -126,7 +132,7 @@ pub fn mlp_table(
                 let p = if (inflight, shards, channels) == (1, 1, 1) {
                     base_point
                 } else {
-                    run_mlp_point(inflight, shards, channels, lines)
+                    run_mlp_point(inflight, shards, channels, 1, lines)
                 };
                 row.push(format!(
                     "{:7.1} cyc/read ({:4.2}x)",
@@ -199,12 +205,18 @@ pub struct E2ePoint {
     pub l2_mshrs: usize,
     /// DRAM channel (and paired SNC shard) count for this run.
     pub mem_channels: usize,
+    /// DRAM banks per channel for this run (1 = flat).
+    pub mem_banks: usize,
     /// Engine in-flight bound for this run.
     pub max_inflight: usize,
     /// Cycles of the measured window.
     pub cycles: u64,
     /// Ops committed in the measured window.
     pub instructions: u64,
+    /// Row-buffer hits observed in the measured window (banked runs).
+    pub row_hits: u64,
+    /// Row-buffer conflicts observed in the measured window.
+    pub row_conflicts: u64,
 }
 
 impl E2ePoint {
@@ -224,6 +236,7 @@ impl E2ePoint {
 pub fn e2e_machine_config(
     l2_mshrs: usize,
     mem_channels: usize,
+    mem_banks: usize,
     max_inflight: usize,
 ) -> MachineConfig {
     let snc = SncConfig::paper_default().with_capacity(128);
@@ -234,7 +247,8 @@ pub fn e2e_machine_config(
         .security
         .with_max_inflight(max_inflight)
         .with_snc_shards(mem_channels)
-        .with_mem_channels(mem_channels);
+        .with_mem_channels(mem_channels)
+        .with_mem_banks(mem_banks);
     cfg
 }
 
@@ -245,9 +259,15 @@ pub fn run_e2e_point(
     trace: &E2eTrace,
     l2_mshrs: usize,
     mem_channels: usize,
+    mem_banks: usize,
     max_inflight: usize,
 ) -> E2ePoint {
-    let mut machine = Machine::new(e2e_machine_config(l2_mshrs, mem_channels, max_inflight));
+    let mut machine = Machine::new(e2e_machine_config(
+        l2_mshrs,
+        mem_channels,
+        mem_banks,
+        max_inflight,
+    ));
     machine
         .core_mut()
         .hierarchy_mut()
@@ -258,9 +278,12 @@ pub fn run_e2e_point(
     E2ePoint {
         l2_mshrs,
         mem_channels,
+        mem_banks,
         max_inflight,
         cycles: m.stats.cycles,
         instructions: m.stats.instructions,
+        row_hits: m.traffic.get("row_hits"),
+        row_conflicts: m.traffic.get("row_conflicts"),
     }
 }
 
@@ -282,19 +305,64 @@ pub fn e2e_table(trace: &E2eTrace, mshr_counts: &[usize], channel_counts: &[usiz
         header.push(format!("{c} channel{}", if c == 1 { "" } else { "s" }));
     }
     let mut table = Table::new(header);
-    let base = run_e2e_point(trace, 1, 1, 1);
+    let base = run_e2e_point(trace, 1, 1, 1, 1);
     for &mshrs in mshr_counts {
         let mut row = vec![mshrs.to_string()];
         for &channels in channel_counts {
             let p = if (mshrs, channels) == (1, 1) {
                 base
             } else {
-                run_e2e_point(trace, mshrs, channels, inflight_for(mshrs))
+                run_e2e_point(trace, mshrs, channels, 1, inflight_for(mshrs))
             };
             row.push(format!(
                 "{:5.2} CPI ({:4.2}x)",
                 p.cpi(),
                 base.cycles as f64 / p.cycles as f64
+            ));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// The bank sweep: a fixed deep machine (8 MSHRs, 32 in-flight,
+/// `channels` channels paired with shards) across the `mem_banks`
+/// axis, one column per recorded trace — so bank-parallel traffic
+/// (`bfs`: independent random reads the MSHR file keeps in flight) and
+/// row-conflict-bound traffic (`rstride`: a serial random walk) can be
+/// compared end to end. Cells are CPI, the speedup over the same trace
+/// at the first bank count on the axis, and the window's row-buffer
+/// hit rate.
+pub fn bank_table(traces: &[&E2eTrace], bank_counts: &[usize], channels: usize) -> Table {
+    assert!(!bank_counts.is_empty(), "bank axis cannot be empty");
+    let mut header = vec!["banks".to_string()];
+    for t in traces {
+        header.push(t.name().to_string());
+    }
+    let mut table = Table::new(header);
+    let bases: Vec<E2ePoint> = traces
+        .iter()
+        .map(|t| run_e2e_point(t, 8, channels, bank_counts[0], 32))
+        .collect();
+    for (bank_index, &banks) in bank_counts.iter().enumerate() {
+        let mut row = vec![banks.to_string()];
+        for (trace_index, t) in traces.iter().enumerate() {
+            let p = if bank_index == 0 {
+                bases[trace_index]
+            } else {
+                run_e2e_point(t, 8, channels, banks, 32)
+            };
+            let rows_touched = p.row_hits + p.row_conflicts;
+            let hit_pct = if rows_touched == 0 {
+                0.0
+            } else {
+                p.row_hits as f64 / rows_touched as f64 * 100.0
+            };
+            row.push(format!(
+                "{:5.2} CPI ({:4.2}x, {:3.0}% row hits)",
+                p.cpi(),
+                bases[trace_index].cycles as f64 / p.cycles as f64,
+                hit_pct
             ));
         }
         table.push_row(row);
@@ -311,7 +379,7 @@ mod tests {
         let lines = 512;
         let mut last = u64::MAX;
         for inflight in [1usize, 2, 4, 8, 16] {
-            let p = run_mlp_point(inflight, 1, 1, lines);
+            let p = run_mlp_point(inflight, 1, 1, 1, lines);
             assert!(
                 p.total_cycles <= last,
                 "inflight {inflight}: {} after {last}",
@@ -320,8 +388,8 @@ mod tests {
             last = p.total_cycles;
         }
         // And the gain is substantial, not marginal.
-        let serial = run_mlp_point(1, 1, 1, lines);
-        let deep = run_mlp_point(16, 1, 1, lines);
+        let serial = run_mlp_point(1, 1, 1, 1, lines);
+        let deep = run_mlp_point(16, 1, 1, 1, lines);
         assert!(
             serial.total_cycles as f64 / deep.total_cycles as f64 > 2.0,
             "serial {} vs deep {}",
@@ -333,8 +401,8 @@ mod tests {
     #[test]
     fn sharding_relieves_port_contention_under_deep_inflight() {
         let lines = 512;
-        let one = run_mlp_point(16, 1, 1, lines);
-        let four = run_mlp_point(16, 4, 1, lines);
+        let one = run_mlp_point(16, 1, 1, 1, lines);
+        let four = run_mlp_point(16, 4, 1, 1, lines);
         assert!(
             four.total_cycles <= one.total_cycles,
             "4 shards {} vs 1 shard {}",
@@ -346,8 +414,8 @@ mod tests {
     #[test]
     fn channels_relieve_dram_contention_under_deep_inflight() {
         let lines = 512;
-        let one = run_mlp_point(32, 4, 1, lines);
-        let four = run_mlp_point(32, 4, 4, lines);
+        let one = run_mlp_point(32, 4, 1, 1, lines);
+        let four = run_mlp_point(32, 4, 4, 1, lines);
         assert!(
             four.total_cycles < one.total_cycles,
             "4 channels {} vs 1 channel {}",
@@ -373,8 +441,8 @@ mod tests {
         // least 2x faster end-to-end than the paper-default blocking
         // machine on a miss-heavy recorded benchmark trace.
         let trace = E2eTrace::record("bfs", 40_000, 120_000);
-        let base = run_e2e_point(&trace, 1, 1, 1);
-        let deep = run_e2e_point(&trace, 8, 4, 32);
+        let base = run_e2e_point(&trace, 1, 1, 1, 1);
+        let deep = run_e2e_point(&trace, 8, 4, 1, 32);
         assert_eq!(base.instructions, deep.instructions);
         let speedup = base.cycles as f64 / deep.cycles as f64;
         assert!(
@@ -390,7 +458,7 @@ mod tests {
         let trace = E2eTrace::record("bfs", 20_000, 60_000);
         let mut last: Option<u64> = None;
         for mshrs in [1usize, 2, 8] {
-            let p = run_e2e_point(&trace, mshrs, 2, inflight_for(mshrs));
+            let p = run_e2e_point(&trace, mshrs, 2, 1, inflight_for(mshrs));
             if let Some(best) = last {
                 // Deeper files must not lose more than 2% to drain
                 // batching (late dependent discovery).
@@ -420,5 +488,76 @@ mod tests {
         assert_eq!(inflight_for(1), 4);
         assert_eq!(inflight_for(8), 32);
         assert_eq!(inflight_for(16), 32);
+    }
+
+    #[test]
+    fn bfs_gains_measurably_from_bank_parallelism() {
+        // The deep machine keeps independent misses in flight, so more
+        // banks per channel overlap more precharge/activate phases:
+        // banks >= 4 must beat the 2-bank fabric by a clear margin on
+        // the bank-parallel bfs trace, and 8 banks must not regress.
+        let trace = E2eTrace::record("bfs", 20_000, 60_000);
+        let two = run_e2e_point(&trace, 8, 4, 2, 32);
+        let four = run_e2e_point(&trace, 8, 4, 4, 32);
+        let eight = run_e2e_point(&trace, 8, 4, 8, 32);
+        assert_eq!(two.instructions, four.instructions);
+        assert!(
+            four.cycles * 100 <= two.cycles * 95,
+            "expected >= 5% gain at 4 banks: {} vs {}",
+            four.cycles,
+            two.cycles
+        );
+        assert!(
+            eight.cycles <= four.cycles,
+            "8 banks regressed: {} vs {}",
+            eight.cycles,
+            four.cycles
+        );
+        // Banked runs actually exercise the row buffer.
+        assert!(four.row_hits > 0 && four.row_conflicts > 0);
+    }
+
+    #[test]
+    fn rstride_is_row_conflict_bound() {
+        // The serial random-stride walk has no MLP for banks to
+        // overlap and row-hops on every chase load: growing the bank
+        // count buys almost nothing, and conflicts stay a large share
+        // of all row outcomes.
+        let trace = E2eTrace::record("rstride", 20_000, 60_000);
+        let two = run_e2e_point(&trace, 8, 4, 2, 32);
+        let eight = run_e2e_point(&trace, 8, 4, 8, 32);
+        let gain = two.cycles as f64 / eight.cycles as f64;
+        assert!(
+            gain < 1.05,
+            "a serial conflict-bound walk should not scale with banks, got {gain:.2}x"
+        );
+        let rows_touched = eight.row_hits + eight.row_conflicts;
+        assert!(
+            eight.row_conflicts * 10 >= rows_touched * 4,
+            "expected >= 40% conflicts, got {} of {rows_touched}",
+            eight.row_conflicts
+        );
+        // And the flat (banks = 1) idealisation is not slower than the
+        // banked fabric on this trace: there is no locality to win
+        // back the precharge/activate cost.
+        let flat = run_e2e_point(&trace, 8, 4, 1, 32);
+        assert!(
+            flat.cycles <= eight.cycles + eight.cycles / 20,
+            "flat {} vs banked {}",
+            flat.cycles,
+            eight.cycles
+        );
+    }
+
+    #[test]
+    fn bank_table_prints_both_traces() {
+        let bfs = E2eTrace::record("bfs", 5_000, 20_000);
+        let rstride = E2eTrace::record("rstride", 5_000, 20_000);
+        let t = bank_table(&[&bfs, &rstride], &[1, 4], 4);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.col_count(), 3);
+        let text = t.render_text();
+        assert!(text.contains("rstride"), "{text}");
+        assert!(text.contains("row hits"), "{text}");
     }
 }

@@ -202,6 +202,19 @@ pub struct SecureBackendConfig {
     /// shard with its own memory controller. `1` is the paper's single
     /// shared channel.
     pub mem_channels: usize,
+    /// DRAM banks per channel. `1` (the paper default) is the flat
+    /// uniform-latency model; with more banks each access is charged
+    /// row-buffer timing (`row_hit_cycles` on an open-row hit,
+    /// `row_conflict_cycles` on a precharge + activate) against its
+    /// bank's busy timeline, so locality inside a channel matters and
+    /// concurrent misses to different banks overlap their activates.
+    pub mem_banks: usize,
+    /// Latency of a banked access that finds its row open. Ignored at
+    /// `mem_banks = 1`.
+    pub row_hit_cycles: u64,
+    /// Latency of a banked access that must precharge the open row and
+    /// activate its own first. Ignored at `mem_banks = 1`.
+    pub row_conflict_cycles: u64,
     /// Write-buffer entries (per channel).
     pub write_buffer_entries: usize,
     /// Whether reads of lines never written back bypass the SNC
@@ -238,6 +251,9 @@ impl SecureBackendConfig {
             mem_latency: 100,
             mem_occupancy: 8,
             mem_channels: 1,
+            mem_banks: 1,
+            row_hit_cycles: padlock_mem::DEFAULT_ROW_HIT_CYCLES,
+            row_conflict_cycles: padlock_mem::DEFAULT_ROW_CONFLICT_CYCLES,
             write_buffer_entries: 8,
             clean_lines_bypass: true,
             seed_scheme: SeedScheme::PaperAdditive,
@@ -277,6 +293,33 @@ impl SecureBackendConfig {
     pub fn with_mem_channels(mut self, n: usize) -> Self {
         self.mem_channels = n;
         self
+    }
+
+    /// Builder: set the number of DRAM banks per channel (`1` = the
+    /// paper's flat model).
+    pub fn with_mem_banks(mut self, n: usize) -> Self {
+        self.mem_banks = n;
+        self
+    }
+
+    /// Builder: set the row-buffer hit and conflict latencies used when
+    /// `mem_banks > 1`.
+    pub fn with_row_cycles(mut self, hit: u64, conflict: u64) -> Self {
+        self.row_hit_cycles = hit;
+        self.row_conflict_cycles = conflict;
+        self
+    }
+
+    /// The per-channel bank configuration this machine implies: the row
+    /// size is derived from the line interleave
+    /// ([`padlock_mem::ROW_LINES`] lines per row).
+    pub fn bank_config(&self) -> padlock_mem::BankConfig {
+        padlock_mem::BankConfig {
+            banks: self.mem_banks,
+            row_hit_cycles: self.row_hit_cycles,
+            row_conflict_cycles: self.row_conflict_cycles,
+            row_bytes: u64::from(self.line_bytes) * padlock_mem::ROW_LINES,
+        }
     }
 
     /// Builder: set the SNC port occupancy per probe.
@@ -347,10 +390,13 @@ mod tests {
         assert_eq!(cfg.crypto.pipeline_latency(), 102);
         assert_eq!(cfg.mem_latency, 100);
         assert!(cfg.clean_lines_bypass);
-        // Paper defaults model the blocking single-controller machine.
+        // Paper defaults model the blocking single-controller machine
+        // over flat (bankless) DRAM.
         assert_eq!(cfg.max_inflight, 1);
         assert_eq!(cfg.snc_shards, 1);
         assert_eq!(cfg.mem_channels, 1);
+        assert_eq!(cfg.mem_banks, 1);
+        assert!(cfg.bank_config().is_flat());
     }
 
     #[test]
@@ -359,10 +405,19 @@ mod tests {
             .with_max_inflight(8)
             .with_snc_shards(4)
             .with_mem_channels(4)
-            .with_snc_port_cycles(12);
+            .with_snc_port_cycles(12)
+            .with_mem_banks(8)
+            .with_row_cycles(55, 150);
         assert_eq!(cfg.max_inflight, 8);
         assert_eq!(cfg.snc_shards, 4);
         assert_eq!(cfg.mem_channels, 4);
         assert_eq!(cfg.snc_port_cycles, 12);
+        assert_eq!(cfg.mem_banks, 8);
+        let banks = cfg.bank_config();
+        assert!(!banks.is_flat());
+        assert_eq!(banks.row_hit_cycles, 55);
+        assert_eq!(banks.row_conflict_cycles, 150);
+        // 16 x 128B lines per row.
+        assert_eq!(banks.row_bytes, 2048);
     }
 }

@@ -22,10 +22,15 @@
 //! [`MemTxn`] in a bounded in-flight queue (at most
 //! `max_inflight` entries, MSHR-style), and a drain scheduler retires
 //! queued transactions in three phases against per-resource timelines —
-//! the DRAM channel (persistent occupancy), the crypto pipeline
-//! ([`crate::engine::CryptoTimeline`], which coalesces up to
-//! `crypto_pipeline_width` pad generations per issue slot), and one
-//! lookup port per SNC shard ([`crate::engine::SncPorts`]):
+//! the DRAM channel (persistent occupancy), the per-channel DRAM
+//! **banks** (each [`padlock_mem::BankSet`] bank's open-row register
+//! and busy timeline, consulted by every fabric access when
+//! `mem_banks > 1` so same-bank misses serialise on their
+//! precharge/activate while different-bank misses overlap — the fourth
+//! scheduling resource alongside channel, crypto, and ports), the
+//! crypto pipeline ([`crate::engine::CryptoTimeline`], which coalesces
+//! up to `crypto_pipeline_width` pad generations per issue slot), and
+//! one lookup port per SNC shard ([`crate::engine::SncPorts`]):
 //!
 //! 1. **classify + first issue** — probe the (sharded) SNC, pick the
 //!    path (fast / sequence-fetch / direct), and issue the first memory
@@ -141,13 +146,15 @@ impl SecureBackend {
         assert!(config.max_inflight > 0, "max_inflight must be positive");
         assert!(config.snc_shards > 0, "snc_shards must be positive");
         assert!(config.mem_channels > 0, "mem_channels must be positive");
+        assert!(config.mem_banks > 0, "mem_banks must be positive");
         let channels = ChannelSet::new(
             config.mem_channels,
             config.mem_latency,
             config.mem_occupancy,
             config.write_buffer_entries,
             u64::from(config.line_bytes),
-        );
+        )
+        .with_banks(config.bank_config());
         let snc = match config.mode {
             SecurityMode::Otp { snc } => Some(SncShards::new(snc, config.snc_shards)),
             _ => None,
@@ -297,17 +304,41 @@ impl SecureBackend {
     }
 
     /// Flushes the SNC as on a context switch (§4.3, policy 1): every
-    /// entry is encrypted (crypto latency each, pipelined) and spilled to
-    /// memory. Returns the number of entries flushed.
+    /// entry is encrypted through the crypto pipeline
+    /// (`crypto_pipeline_width` entries per issue slot) and the
+    /// ciphertext is spilled as packed line-sized transactions
+    /// ([`SPILL_BATCH`] entries per line, like steady-state spills),
+    /// striped round-robin across the channel fabric — so the flush's
+    /// makespan shrinks as `mem_channels` grows instead of the whole
+    /// SNC serialising through one controller, while the spilled-entry
+    /// and packed-transaction counts stay exact regardless of fabric
+    /// width. Returns the number of entries flushed.
     pub fn context_switch_flush(&mut self, now: u64) -> usize {
         let Some(snc) = self.snc.as_mut() else {
             return 0;
         };
         let entries = snc.flush();
-        let ready = now + self.crypto_latency();
-        for e in &entries {
-            self.channels
-                .enqueue_write(now, ready, e.line_addr, TrafficClass::SeqWrite, 8);
+        let mut crypto = CryptoTimeline::new(
+            self.crypto_latency(),
+            self.config.crypto_pipeline_width,
+        );
+        let fabric_width = self.channels.num_channels();
+        for (pack_index, pack) in entries.chunks(SPILL_BATCH as usize).enumerate() {
+            // A pack leaves when its last entry clears the crypto
+            // pipeline; packs stripe over the fabric like the
+            // sequence-number table's own channel-interleaved lines.
+            let ready = pack
+                .iter()
+                .map(|_| crypto.issue_pad(now))
+                .max()
+                .unwrap_or(now);
+            self.channels.demand_write_on(
+                pack_index % fabric_width,
+                ready,
+                pack[0].line_addr,
+                TrafficClass::SeqWrite,
+                self.config.line_bytes,
+            );
         }
         self.stats.add("context_flush_entries", entries.len() as u64);
         entries.len()
@@ -653,6 +684,9 @@ impl MemoryBackend for SecureBackend {
         if self.config.mem_channels > 1 {
             label.push_str(&format!(" x{}ch", self.config.mem_channels));
         }
+        if self.config.mem_banks > 1 {
+            label.push_str(&format!(" x{}bk", self.config.mem_banks));
+        }
         if self.config.max_inflight > 1 {
             label.push_str(&format!(" mlp{}", self.config.max_inflight));
         }
@@ -827,9 +861,58 @@ mod tests {
         let flushed = b.context_switch_flush(100);
         assert_eq!(flushed, 5);
         assert_eq!(b.snc().unwrap().occupancy(), 0);
-        // Entries became seq-write traffic once drained.
-        b.line_read(100_000, 0x100, LineKind::Data);
-        assert!(b.traffic().get("seq_writes") >= 5);
+        assert_eq!(b.controller_stats().get("context_flush_entries"), 5);
+        // Five entries pack into one line-sized spill transaction.
+        assert_eq!(b.traffic().get("seq_writes"), 1);
+        assert_eq!(
+            b.traffic().get("seq_write_bytes"),
+            u64::from(b.config().line_bytes)
+        );
+    }
+
+    #[test]
+    fn context_switch_flush_spreads_over_the_fabric() {
+        // A full SNC flush: the makespan (fabric busy frontier past the
+        // flush instant) must shrink as channels grow, while the
+        // spilled-entry and packed-transaction counts stay exact.
+        let entries = 1024usize;
+        let now = 10_000u64;
+        let mut last_makespan = u64::MAX;
+        for channels in [1usize, 2, 4, 8] {
+            let mut cfg = otp_cfg(SncPolicy::Lru, entries).with_mem_channels(channels);
+            // A narrow spill bus (1 byte/cycle): the fabric, not the
+            // crypto pipeline, is the flush bottleneck, so fabric width
+            // is what the makespan measures.
+            cfg.mem_occupancy = 128;
+            let mut b = SecureBackend::new(cfg);
+            for i in 0..entries as u64 {
+                b.line_writeback(i, 0x10_0000 + i * 128);
+            }
+            let start = b.channels().busy_until().max(now);
+            assert_eq!(b.context_switch_flush(start), entries);
+            let makespan = b.channels().busy_until() - start;
+            assert!(
+                makespan < last_makespan,
+                "{channels} channels: makespan {makespan} vs previous {last_makespan}"
+            );
+            last_makespan = makespan;
+            // Counters are fabric-width invariant: exactly
+            // entries / SPILL_BATCH packed line transactions.
+            assert_eq!(b.controller_stats().get("context_flush_entries"), 1024);
+            assert_eq!(b.traffic().get("seq_writes"), (entries / 64) as u64);
+            assert_eq!(
+                b.traffic().get("seq_write_bytes"),
+                (entries / 64) as u64 * u64::from(b.config().line_bytes)
+            );
+            // And every channel took part.
+            let spilled_channels = b
+                .channels()
+                .channels()
+                .iter()
+                .filter(|ch| ch.mem().stats().get("seq_writes") > 0)
+                .count();
+            assert_eq!(spilled_channels, channels);
+        }
     }
 
     #[test]

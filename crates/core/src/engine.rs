@@ -5,9 +5,10 @@
 //! queue (MSHR-style) and retired by a drain scheduler that reserves
 //! time on three resources:
 //!
-//! * the **DRAM channel** — the persistent
-//!   [`padlock_cpu::MemoryChannel`] occupancy the seed model already
-//!   had;
+//! * the **DRAM fabric** — the persistent per-channel occupancy of the
+//!   [`padlock_mem::ChannelSet`] the seed model already had, plus (when
+//!   `mem_banks > 1`) each channel's per-bank open-row state, so
+//!   overlapping misses contend for banks and rows, not just the bus;
 //! * the **crypto pipeline** — a [`CryptoTimeline`] of issue slots, each
 //!   of which can coalesce up to `crypto_pipeline_width` one-time-pad
 //!   generations (batched pad precomputation);

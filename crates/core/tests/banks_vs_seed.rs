@@ -1,0 +1,405 @@
+//! Differential test: the bank-aware fabric at `mem_banks = 1` must
+//! reproduce the pre-bank (PR 3) channel fabric *bit-exactly*.
+//!
+//! Three layers, mirroring `hierarchy_vs_seed` one level down. The
+//! fabric layer is a true old-vs-new differential (a line-for-line
+//! port of the PR 3 fabric); the backend and machine layers prove the
+//! new row-timing knobs are *inert* at `mem_banks = 1` across the
+//! whole mode × policy × channel × MSHR grid — combined with the
+//! fabric layer (the only component this PR's timing paths changed)
+//! and the still-green `engine_vs_seed` / `hierarchy_vs_seed`
+//! differentials one level up, that pins the flat machine to the PR 3
+//! behaviour:
+//!
+//! * **fabric** — `SeedChannelSet` below is a line-for-line port of the
+//!   multi-channel fabric as it was before the bank layer (flat
+//!   occupancy, no addresses in the channel timing paths). It is
+//!   driven against the new `ChannelSet` with identical pseudorandom
+//!   op streams across every channel count; every returned cycle and
+//!   every traffic counter must match, with the bank knobs at their
+//!   defaults *and* at absurd values (both flat, so provably inert);
+//! * **backend** — `SecureBackend`s differing only in the (inert at
+//!   `mem_banks = 1`) row-timing knobs are driven with identical
+//!   pseudorandom read/writeback traces across every security mode ×
+//!   SNC policy × channel count × in-flight depth; every latency and
+//!   every traffic/controller/SNC counter must match;
+//! * **machine** — whole `Machine`s (core + hierarchy + engine) run
+//!   the same workload across mode × channel × MSHR combinations; the
+//!   measured cycles, instructions, and every counter must match.
+
+use padlock_cache::WriteBuffer;
+use padlock_core::{
+    Machine, MachineConfig, SecureBackend, SecureBackendConfig, SecurityMode, SncConfig,
+    SncOrganization, SncPolicy,
+};
+use padlock_cpu::{LineKind, MemoryBackend, StrideWorkload};
+use padlock_mem::{BankConfig, ChannelSet, MemTimingModel, TrafficClass};
+use padlock_stats::CounterSet;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
+
+// ---- the PR 3 fabric, ported line for line ----
+
+/// One write-buffered channel exactly as it was before the bank layer.
+struct SeedChannel {
+    mem: MemTimingModel,
+    write_buffer: WriteBuffer,
+}
+
+impl SeedChannel {
+    fn new(mem_latency: u64, occupancy: u64, write_buffer_entries: usize) -> Self {
+        Self {
+            mem: MemTimingModel::new(mem_latency, occupancy),
+            write_buffer: WriteBuffer::new(write_buffer_entries),
+        }
+    }
+
+    fn drain_ready(&mut self, now: u64) {
+        while let Some(entry) = self.write_buffer.pop_ready(now) {
+            self.mem
+                .write(entry.ready_at, TrafficClass::LineWrite, entry.bytes);
+        }
+    }
+
+    fn demand_read(&mut self, now: u64, class: TrafficClass, bytes: u32) -> u64 {
+        let done = self.mem.read(now, class, bytes);
+        self.drain_ready(now);
+        done
+    }
+
+    fn demand_write(&mut self, now: u64, class: TrafficClass, bytes: u32) -> u64 {
+        self.drain_ready(now);
+        self.mem.write(now, class, bytes)
+    }
+
+    fn enqueue_write(&mut self, now: u64, ready_at: u64, addr: u64, class: TrafficClass, bytes: u32) {
+        if self.write_buffer.is_full() {
+            if let Some(head) = self.write_buffer.pop_ready(u64::MAX) {
+                let start = head.ready_at.max(now);
+                self.mem.write(start, TrafficClass::LineWrite, head.bytes);
+            }
+        }
+        if class != TrafficClass::LineWrite {
+            self.mem.write(now.max(ready_at), class, bytes);
+        } else {
+            let pushed = self.write_buffer.push(addr, ready_at, bytes);
+            debug_assert!(pushed, "buffer cannot be full after force-drain");
+        }
+    }
+
+    fn flush_writes(&mut self, now: u64) -> usize {
+        let mut drained = 0;
+        while let Some(entry) = self.write_buffer.pop_ready(u64::MAX) {
+            let start = entry.ready_at.max(now);
+            self.mem.write(start, TrafficClass::LineWrite, entry.bytes);
+            drained += 1;
+        }
+        drained
+    }
+}
+
+/// The line-interleaved fabric exactly as it was before the bank layer.
+struct SeedChannelSet {
+    channels: Vec<SeedChannel>,
+    interleave_bytes: u64,
+}
+
+impl SeedChannelSet {
+    fn new(
+        channels: usize,
+        mem_latency: u64,
+        occupancy: u64,
+        write_buffer_entries: usize,
+        interleave_bytes: u64,
+    ) -> Self {
+        Self {
+            channels: (0..channels)
+                .map(|_| SeedChannel::new(mem_latency, occupancy, write_buffer_entries))
+                .collect(),
+            interleave_bytes,
+        }
+    }
+
+    fn channel_of(&self, addr: u64) -> usize {
+        ((addr / self.interleave_bytes) % self.channels.len() as u64) as usize
+    }
+
+    fn demand_read(&mut self, now: u64, addr: u64, class: TrafficClass, bytes: u32) -> u64 {
+        let ch = self.channel_of(addr);
+        self.channels[ch].demand_read(now, class, bytes)
+    }
+
+    fn demand_write(&mut self, now: u64, addr: u64, class: TrafficClass, bytes: u32) -> u64 {
+        let ch = self.channel_of(addr);
+        self.channels[ch].demand_write(now, class, bytes)
+    }
+
+    fn enqueue_write(&mut self, now: u64, ready_at: u64, addr: u64, class: TrafficClass, bytes: u32) {
+        let ch = self.channel_of(addr);
+        self.channels[ch].enqueue_write(now, ready_at, addr, class, bytes);
+    }
+
+    fn flush_writes(&mut self, now: u64) -> usize {
+        self.channels.iter_mut().map(|ch| ch.flush_writes(now)).sum()
+    }
+
+    fn stats(&self) -> CounterSet {
+        let mut all = CounterSet::new("mem");
+        for ch in &self.channels {
+            all.merge(ch.mem.stats());
+        }
+        all
+    }
+}
+
+fn counters(set: &CounterSet) -> BTreeMap<String, u64> {
+    set.iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+// ---- layer 1: fabric differential ----
+
+/// Drives the seed fabric and a new flat fabric with one pseudorandom
+/// op stream; every returned cycle and every counter must match.
+fn assert_fabric_equivalent(channels: usize, bank_config: BankConfig, seed: u64) {
+    assert!(bank_config.is_flat(), "only flat configs collapse to the seed fabric");
+    let mut old = SeedChannelSet::new(channels, 100, 8, 8, 128);
+    let mut new = ChannelSet::new(channels, 100, 8, 8, 128).with_banks(bank_config);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = 0u64;
+    for step in 0..3_000u32 {
+        now += rng.next_u64() % 160;
+        let addr = (rng.next_u64() % 4096) * 128;
+        match rng.next_u64() % 10 {
+            0..=4 => {
+                let class = if rng.next_u64() % 4 == 0 {
+                    TrafficClass::SeqRead
+                } else {
+                    TrafficClass::LineRead
+                };
+                assert_eq!(
+                    new.demand_read(now, addr, class, 128),
+                    old.demand_read(now, addr, class, 128),
+                    "step {step}: read of {addr:#x} at {now} ({channels}ch)"
+                );
+            }
+            5 | 6 => {
+                let class = if rng.next_u64() % 4 == 0 {
+                    TrafficClass::SeqWrite
+                } else {
+                    TrafficClass::LineWrite
+                };
+                assert_eq!(
+                    new.demand_write(now, addr, class, 128),
+                    old.demand_write(now, addr, class, 128),
+                    "step {step}: write of {addr:#x} at {now} ({channels}ch)"
+                );
+            }
+            7 | 8 => {
+                let ready = now + rng.next_u64() % 300;
+                new.enqueue_write(now, ready, addr, TrafficClass::LineWrite, 128);
+                old.enqueue_write(now, ready, addr, TrafficClass::LineWrite, 128);
+            }
+            _ => {
+                assert_eq!(
+                    new.flush_writes(now),
+                    old.flush_writes(now),
+                    "step {step}: flush at {now} ({channels}ch)"
+                );
+            }
+        }
+    }
+    now += 10_000;
+    assert_eq!(new.flush_writes(now), old.flush_writes(now));
+    assert_eq!(
+        counters(&new.stats()),
+        counters(&old.stats()),
+        "fabric counters diverged ({channels}ch)"
+    );
+}
+
+#[test]
+fn flat_fabric_matches_seed_fabric_across_channel_counts() {
+    for (i, channels) in [1usize, 2, 3, 4, 8].into_iter().enumerate() {
+        assert_fabric_equivalent(channels, BankConfig::flat(), 211 + i as u64);
+    }
+}
+
+#[test]
+fn bank_knobs_are_inert_on_a_flat_fabric() {
+    // Absurd row timings with banks = 1 must still be the seed fabric:
+    // the knobs cannot leak into flat timing.
+    let weird = BankConfig {
+        banks: 1,
+        row_hit_cycles: 1,
+        row_conflict_cycles: 9_999,
+        row_bytes: 64,
+    };
+    for (i, channels) in [1usize, 2, 4].into_iter().enumerate() {
+        assert_fabric_equivalent(channels, weird, 223 + i as u64);
+    }
+}
+
+// ---- layer 2: backend grid ----
+
+fn snc_cfg(policy: SncPolicy, entries: usize) -> SncConfig {
+    SncConfig {
+        capacity_bytes: entries * 2,
+        entry_bytes: 2,
+        organization: SncOrganization::FullyAssociative,
+        policy,
+        covered_line_bytes: 128,
+    }
+}
+
+fn grid_modes() -> Vec<SecurityMode> {
+    vec![
+        SecurityMode::Insecure,
+        SecurityMode::Xom,
+        SecurityMode::Otp {
+            snc: snc_cfg(SncPolicy::Lru, 64),
+        },
+        SecurityMode::Otp {
+            snc: snc_cfg(SncPolicy::NoReplacement, 64),
+        },
+    ]
+}
+
+/// Two backends differing only in the (inert at `mem_banks = 1`)
+/// row-timing knobs, driven with one pseudorandom trace: every latency
+/// and counter must match.
+fn assert_backend_equivalent(mode: SecurityMode, channels: usize, inflight: usize, seed: u64) {
+    let base = SecureBackendConfig::paper(mode)
+        .with_mem_channels(channels)
+        .with_snc_shards(channels)
+        .with_max_inflight(inflight);
+    assert_eq!(base.mem_banks, 1, "the grid probes the flat configuration");
+    let weird = base.clone().with_row_cycles(1, 9_999);
+
+    let mut a = SecureBackend::new(base);
+    let mut b = SecureBackend::new(weird);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = 0u64;
+    let mut batch: Vec<(u64, u64, LineKind)> = Vec::new();
+    for step in 0..1_500u32 {
+        now += rng.next_u64() % 220;
+        let addr = 0x8000 + (rng.next_u64() % 512) * 128;
+        match rng.next_u64() % 10 {
+            0..=4 => {
+                let kind = if rng.next_u64() % 5 == 0 {
+                    LineKind::Instruction
+                } else {
+                    LineKind::Data
+                };
+                batch.push((now, addr, kind));
+                if batch.len() >= inflight || rng.next_u64() % 3 == 0 {
+                    let da = a.line_read_batch_at(&batch);
+                    let db = b.line_read_batch_at(&batch);
+                    assert_eq!(da, db, "step {step}: batch diverged ({mode}, {channels}ch)");
+                    batch.clear();
+                }
+            }
+            _ => {
+                a.line_writeback(now, addr);
+                b.line_writeback(now, addr);
+            }
+        }
+    }
+    if !batch.is_empty() {
+        assert_eq!(a.line_read_batch_at(&batch), b.line_read_batch_at(&batch));
+    }
+    now += 1_000;
+    a.drain(now);
+    b.drain(now);
+    assert_eq!(
+        counters(&a.traffic()),
+        counters(&b.traffic()),
+        "traffic diverged ({mode}, {channels}ch, mlp{inflight})"
+    );
+    assert_eq!(
+        counters(a.controller_stats()),
+        counters(b.controller_stats()),
+        "controller diverged ({mode}, {channels}ch, mlp{inflight})"
+    );
+    if let Some(snc) = a.snc() {
+        assert_eq!(
+            counters(&snc.stats()),
+            counters(&b.snc().unwrap().stats()),
+            "snc diverged ({mode}, {channels}ch, mlp{inflight})"
+        );
+    }
+    // The flat fabric never classifies row outcomes.
+    assert_eq!(a.traffic().get("row_hits"), 0);
+    assert_eq!(a.traffic().get("row_conflicts"), 0);
+}
+
+#[test]
+fn flat_backends_match_across_mode_policy_channel_inflight_grid() {
+    let mut seed = 307u64;
+    for mode in grid_modes() {
+        for channels in [1usize, 2, 4] {
+            for inflight in [1usize, 8] {
+                seed += 1;
+                assert_backend_equivalent(mode, channels, inflight, seed);
+            }
+        }
+    }
+}
+
+// ---- layer 3: whole machines ----
+
+/// Two machines differing only in the inert row knobs run the same
+/// workload; cycles, instructions, and every counter must match.
+fn assert_machine_equivalent(mode: SecurityMode, channels: usize, mshrs: usize) {
+    let build = |weird_rows: bool| {
+        let mut cfg = MachineConfig::paper(mode);
+        cfg.hierarchy.l2_mshrs = mshrs;
+        cfg.security = cfg
+            .security
+            .with_mem_channels(channels)
+            .with_snc_shards(channels)
+            .with_max_inflight(4 * mshrs);
+        if weird_rows {
+            cfg.security = cfg.security.with_row_cycles(1, 9_999);
+        }
+        assert_eq!(cfg.security.mem_banks, 1);
+        Machine::new(cfg)
+    };
+    let mut a = build(false);
+    let mut b = build(true);
+    let ma = a.run(&mut StrideWorkload::new(8 << 20, 136, 0.35), 2_000, 8_000);
+    let mb = b.run(&mut StrideWorkload::new(8 << 20, 136, 0.35), 2_000, 8_000);
+    let tag = format!("{mode}, {channels}ch, {mshrs} mshrs");
+    assert_eq!(ma.stats.cycles, mb.stats.cycles, "cycles diverged ({tag})");
+    assert_eq!(ma.stats.instructions, mb.stats.instructions, "{tag}");
+    assert_eq!(counters(&ma.traffic), counters(&mb.traffic), "{tag}");
+    assert_eq!(counters(&ma.controller), counters(&mb.controller), "{tag}");
+    assert_eq!(counters(&ma.snc), counters(&mb.snc), "{tag}");
+    assert_eq!(counters(&ma.l2), counters(&mb.l2), "{tag}");
+}
+
+#[test]
+fn flat_machines_match_across_mode_channel_mshr_grid() {
+    for mode in grid_modes() {
+        for (channels, mshrs) in [(1usize, 1usize), (1, 8), (4, 1), (4, 8)] {
+            assert_machine_equivalent(mode, channels, mshrs);
+        }
+    }
+}
+
+#[test]
+fn banked_machine_actually_diverges_from_flat() {
+    // Sanity that the knob is live: the same machine with mem_banks > 1
+    // must *not* be cycle-identical — otherwise the grid above proves
+    // nothing.
+    let mut cfg = MachineConfig::paper(SecurityMode::otp_lru_64k());
+    cfg.security = cfg.security.with_mem_channels(2).with_snc_shards(2);
+    let mut flat = Machine::new(cfg.clone());
+    cfg.security = cfg.security.with_mem_banks(4);
+    let mut banked = Machine::new(cfg);
+    let mf = flat.run(&mut StrideWorkload::new(8 << 20, 136, 0.35), 2_000, 8_000);
+    let mb = banked.run(&mut StrideWorkload::new(8 << 20, 136, 0.35), 2_000, 8_000);
+    assert_ne!(mf.stats.cycles, mb.stats.cycles);
+    assert_eq!(mf.traffic.get("row_hits") + mf.traffic.get("row_conflicts"), 0);
+    assert!(mb.traffic.get("row_hits") + mb.traffic.get("row_conflicts") > 0);
+}

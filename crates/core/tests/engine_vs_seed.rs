@@ -73,19 +73,19 @@ impl SeedBackend {
         }
     }
 
-    fn xom_read(&mut self, now: u64) -> u64 {
+    fn xom_read(&mut self, now: u64, line_addr: u64) -> u64 {
         self.stats.incr("xom_reads");
         let fetched = self
             .channel
-            .demand_read(now, TrafficClass::LineRead, self.config.line_bytes);
+            .demand_read(now, line_addr, TrafficClass::LineRead, self.config.line_bytes);
         fetched + self.crypto_latency()
     }
 
-    fn otp_read(&mut self, now: u64) -> u64 {
+    fn otp_read(&mut self, now: u64, line_addr: u64) -> u64 {
         self.stats.incr("otp_fast_reads");
         let fetched = self
             .channel
-            .demand_read(now, TrafficClass::LineRead, self.config.line_bytes);
+            .demand_read(now, line_addr, TrafficClass::LineRead, self.config.line_bytes);
         let pad_ready = now + self.crypto_latency();
         fetched.max(pad_ready) + 1
     }
@@ -94,32 +94,34 @@ impl SeedBackend {
         match self.config.mode {
             SecurityMode::Insecure => {
                 self.channel
-                    .demand_read(now, TrafficClass::LineRead, self.config.line_bytes)
+                    .demand_read(now, line_addr, TrafficClass::LineRead, self.config.line_bytes)
             }
-            SecurityMode::Xom => self.xom_read(now),
+            SecurityMode::Xom => self.xom_read(now, line_addr),
             SecurityMode::Otp { snc: snc_cfg } => {
                 if kind == LineKind::Instruction {
-                    return self.otp_read(now);
+                    return self.otp_read(now, line_addr);
                 }
                 if self.config.clean_lines_bypass && !self.written.contains(&line_addr) {
                     self.stats.incr("clean_bypass_reads");
-                    return self.otp_read(now);
+                    return self.otp_read(now, line_addr);
                 }
                 let snc = self.snc.as_mut().expect("OTP mode has an SNC");
                 match snc.query(line_addr) {
-                    SncLookup::Hit(_) => self.otp_read(now),
+                    SncLookup::Hit(_) => self.otp_read(now, line_addr),
                     SncLookup::Miss => match snc_cfg.policy {
-                        SncPolicy::NoReplacement => self.xom_read(now),
+                        SncPolicy::NoReplacement => self.xom_read(now, line_addr),
                         SncPolicy::Lru => {
                             self.stats.incr("snc_fetch_reads");
                             let seq_fetched = self.channel.demand_read(
                                 now,
+                                line_addr,
                                 TrafficClass::SeqRead,
                                 self.config.line_bytes,
                             );
                             let seq_ready = seq_fetched + self.crypto_latency();
                             let line_fetched = self.channel.demand_read(
                                 seq_ready,
+                                line_addr,
                                 TrafficClass::LineRead,
                                 self.config.line_bytes,
                             );
@@ -173,6 +175,7 @@ impl SeedBackend {
                                 self.stats.incr("snc_fetch_updates");
                                 let seq_fetched = self.channel.demand_read(
                                     now,
+                                    line_addr,
                                     TrafficClass::SeqRead,
                                     bytes,
                                 );

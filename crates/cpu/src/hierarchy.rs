@@ -502,11 +502,12 @@ pub struct InsecureBackend {
     mem_latency: u64,
     occupancy: u64,
     num_channels: usize,
+    bank_config: padlock_mem::BankConfig,
 }
 
 impl InsecureBackend {
     /// Creates the baseline backend with the given DRAM latency and
-    /// per-transaction channel occupancy (one channel).
+    /// per-transaction channel occupancy (one flat channel).
     pub fn new(mem_latency: u64, occupancy: u64) -> Self {
         Self {
             channels: ChannelSet::new(1, mem_latency, occupancy, 8, 128),
@@ -514,6 +515,7 @@ impl InsecureBackend {
             mem_latency,
             occupancy,
             num_channels: 1,
+            bank_config: padlock_mem::BankConfig::flat(),
         }
     }
 
@@ -524,13 +526,15 @@ impl InsecureBackend {
             self.occupancy,
             8,
             u64::from(self.line_bytes),
-        );
+        )
+        .with_banks(self.bank_config);
     }
 
     /// Overrides the L2 line size used for traffic accounting and
     /// channel interleaving.
     pub fn with_line_bytes(mut self, line_bytes: u32) -> Self {
         self.line_bytes = line_bytes;
+        self.bank_config.row_bytes = u64::from(line_bytes) * padlock_mem::ROW_LINES;
         self.rebuild();
         self
     }
@@ -538,6 +542,15 @@ impl InsecureBackend {
     /// Spreads traffic over `n` line-interleaved DRAM channels.
     pub fn with_channels(mut self, n: usize) -> Self {
         self.num_channels = n;
+        self.rebuild();
+        self
+    }
+
+    /// Adds `n` DRAM banks with row-buffer timing beneath every channel
+    /// (`1` restores the flat uniform-latency model), so the baseline
+    /// machine sees the same memory device physics as the secure ones.
+    pub fn with_banks(mut self, n: usize) -> Self {
+        self.bank_config = padlock_mem::BankConfig::banked(n, self.line_bytes);
         self.rebuild();
         self
     }
@@ -588,11 +601,14 @@ impl MemoryBackend for InsecureBackend {
     }
 
     fn label(&self) -> String {
+        let mut label = "baseline".to_string();
         if self.num_channels > 1 {
-            format!("baseline x{}ch", self.num_channels)
-        } else {
-            "baseline".to_string()
+            label.push_str(&format!(" x{}ch", self.num_channels));
         }
+        if self.bank_config.banks > 1 {
+            label.push_str(&format!(" x{}bk", self.bank_config.banks));
+        }
+        label
     }
 }
 
@@ -612,6 +628,26 @@ mod tests {
             HierarchyConfig::paper_default().with_l2_mshrs(n),
             InsecureBackend::new(100, 8),
         )
+    }
+
+    #[test]
+    fn baseline_backend_supports_banked_dram() {
+        let mut b = InsecureBackend::new(100, 8).with_channels(2).with_banks(4);
+        assert_eq!(b.label(), "baseline x2ch x4bk");
+        // Two reads of the same row on the same channel (lines 0 and 2
+        // both route to channel 0): the second is a row hit.
+        b.line_read(0, 0x0, LineKind::Data);
+        let done = b.line_read(1_000, 0x100, LineKind::Data);
+        assert_eq!(
+            done,
+            1_000 + padlock_mem::DEFAULT_ROW_HIT_CYCLES,
+            "open-row read should cost the hit latency"
+        );
+        assert_eq!(b.traffic().get("row_hits"), 1);
+        // with_banks(1) restores the flat model.
+        let mut flat = InsecureBackend::new(100, 8).with_banks(1);
+        assert_eq!(flat.line_read(0, 0x0, LineKind::Data), 100);
+        assert_eq!(flat.label(), "baseline");
     }
 
     #[test]

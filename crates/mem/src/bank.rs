@@ -1,0 +1,312 @@
+//! DRAM banks and row buffers beneath a memory channel.
+//!
+//! The flat [`crate::MemTimingModel`] charges every access the same
+//! latency, so locality *inside* a channel is invisible: a pointer walk
+//! that ricochets across the DRAM array costs the same as a sweep that
+//! stays in one open row. Real DRAM is organised as independent banks,
+//! each with a row buffer (sense amplifiers) holding the last-activated
+//! row: an access to the open row is a **row hit** (column access
+//! only), an access to any other row is a **row conflict** (precharge
+//! the open row, activate the new one, then the column access).
+//!
+//! [`BankSet`] models that layer for one channel: `banks` banks, each
+//! with an open-row register and its own busy timeline, so
+//!
+//! * same-row streams pay `row_hit_cycles` per access,
+//! * row-hopping streams pay `row_conflict_cycles` per access, and
+//! * concurrent accesses to *different* banks overlap their
+//!   precharge/activate phases (bank-level parallelism) while accesses
+//!   to the same bank serialise on the bank's busy timeline.
+//!
+//! The address map is derived from the same granularity as the channel
+//! fabric's line interleave: [`ROW_LINES`] consecutive lines of the
+//! *global* address space form one row (`row = addr / row_bytes`), and
+//! rows rotate over banks (`bank = row % banks`). Together with the
+//! [`crate::ChannelSet`] line interleave this gives every address
+//! exactly one `(channel, bank, row)` coordinate. Because channels
+//! interleave at line granularity *within* a row, a row's lines spread
+//! over all `N` channels and each channel's open-row register covers
+//! its `ROW_LINES / N` slice — exactly the row-reach dilution a real
+//! cache-line-interleaved multi-channel system pays, and why wider
+//! fabrics trade row-hit rate for channel parallelism.
+//!
+//! A [`BankConfig`] with `banks = 1` (the paper default) is *flat*:
+//! [`crate::MemoryChannel`] bypasses the bank layer entirely and the
+//! fabric is bit-identical to the pre-bank occupancy model — the
+//! `banks_vs_seed` differential test locks this down.
+//!
+//! # Examples
+//!
+//! ```
+//! use padlock_mem::{BankConfig, BankSet};
+//!
+//! let mut banks = BankSet::new(BankConfig::banked(4, 128));
+//! // Cold access: row conflict (precharge + activate + CAS).
+//! let first = banks.access(0, 0x1000);
+//! assert!(!first.hit);
+//! // Same row again while it is open: row hit, strictly cheaper.
+//! let second = banks.access(first.done, 0x1010);
+//! assert!(second.hit);
+//! assert!(second.done - second.start < first.done - first.start);
+//! ```
+
+/// Lines per DRAM row: with the paper's 128-byte L2 lines this is a
+/// 2KB row buffer, the row size of the SDRAM parts contemporary with
+/// the paper's machine.
+pub const ROW_LINES: u64 = 16;
+
+/// Default row-hit (column access) latency in cycles. Cheaper than the
+/// paper's flat 100-cycle access: an open row skips precharge and
+/// activate.
+pub const DEFAULT_ROW_HIT_CYCLES: u64 = 60;
+
+/// Default row-conflict latency in cycles: precharge the open row,
+/// activate the new one, then the column access. Dearer than the flat
+/// 100-cycle access the paper averages over.
+pub const DEFAULT_ROW_CONFLICT_CYCLES: u64 = 140;
+
+/// Configuration of one channel's bank set.
+///
+/// `banks = 1` means *flat*: the channel keeps the pre-bank model where
+/// every access costs the channel's uniform access latency and only bus
+/// occupancy queues. `banks > 1` enables row-buffer timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankConfig {
+    /// Banks per channel (`1` = flat, the paper's model).
+    pub banks: usize,
+    /// Latency of an access that finds its row open.
+    pub row_hit_cycles: u64,
+    /// Latency of an access that must precharge + activate first.
+    pub row_conflict_cycles: u64,
+    /// Bytes per row (normally `line_bytes * ROW_LINES`).
+    pub row_bytes: u64,
+}
+
+impl BankConfig {
+    /// The flat (bankless) configuration the paper assumes.
+    pub fn flat() -> Self {
+        Self {
+            banks: 1,
+            row_hit_cycles: DEFAULT_ROW_HIT_CYCLES,
+            row_conflict_cycles: DEFAULT_ROW_CONFLICT_CYCLES,
+            row_bytes: 128 * ROW_LINES,
+        }
+    }
+
+    /// A banked configuration with the default row timings and the row
+    /// size implied by `line_bytes`.
+    pub fn banked(banks: usize, line_bytes: u32) -> Self {
+        Self {
+            banks,
+            row_hit_cycles: DEFAULT_ROW_HIT_CYCLES,
+            row_conflict_cycles: DEFAULT_ROW_CONFLICT_CYCLES,
+            row_bytes: u64::from(line_bytes) * ROW_LINES,
+        }
+    }
+
+    /// Builder: override the row hit/conflict latencies.
+    pub fn with_row_cycles(mut self, hit: u64, conflict: u64) -> Self {
+        self.row_hit_cycles = hit;
+        self.row_conflict_cycles = conflict;
+        self
+    }
+
+    /// Whether this configuration degenerates to the flat occupancy
+    /// model (no bank state at all).
+    pub fn is_flat(&self) -> bool {
+        self.banks <= 1
+    }
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        Self::flat()
+    }
+}
+
+/// One bank's row buffer and busy timeline.
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+/// The scheduling grant for one bank access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankGrant {
+    /// Cycle the access actually starts (bank free and request ready).
+    pub start: u64,
+    /// Cycle the data is at the pins.
+    pub done: u64,
+    /// Whether the access hit the open row.
+    pub hit: bool,
+    /// The bank that served it.
+    pub bank: usize,
+}
+
+/// One channel's banks with open-row registers and busy timelines.
+#[derive(Debug, Clone)]
+pub struct BankSet {
+    config: BankConfig,
+    banks: Vec<Bank>,
+}
+
+impl BankSet {
+    /// Creates idle banks with every row closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `row_bytes` is zero, or if a row hit is
+    /// configured dearer than a row conflict (a hit is a strict subset
+    /// of the conflict's work).
+    pub fn new(config: BankConfig) -> Self {
+        assert!(config.banks > 0, "a channel needs at least one bank");
+        assert!(config.row_bytes > 0, "row size must be positive");
+        assert!(
+            config.row_hit_cycles <= config.row_conflict_cycles,
+            "a row hit cannot cost more than a conflict"
+        );
+        Self {
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: 0,
+                };
+                config.banks
+            ],
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BankConfig {
+        &self.config
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The global row index holding `addr`.
+    pub fn row_of(&self, addr: u64) -> u64 {
+        addr / self.config.row_bytes
+    }
+
+    /// The bank serving `addr` (rows rotate over banks).
+    pub fn bank_of(&self, addr: u64) -> usize {
+        (self.row_of(addr) % self.banks.len() as u64) as usize
+    }
+
+    /// Latest cycle any bank is busy until.
+    pub fn busy_until(&self) -> u64 {
+        self.banks.iter().map(|b| b.busy_until).max().unwrap_or(0)
+    }
+
+    /// Schedules one access wanted at `ready`: waits for the bank,
+    /// charges the row-hit or row-conflict latency, and leaves the row
+    /// open behind it.
+    pub fn access(&mut self, ready: u64, addr: u64) -> BankGrant {
+        let row = self.row_of(addr);
+        let index = (row % self.banks.len() as u64) as usize;
+        let bank = &mut self.banks[index];
+        let start = ready.max(bank.busy_until);
+        let hit = bank.open_row == Some(row);
+        let latency = if hit {
+            self.config.row_hit_cycles
+        } else {
+            self.config.row_conflict_cycles
+        };
+        bank.busy_until = start + latency;
+        bank.open_row = Some(row);
+        BankGrant {
+            start,
+            done: start + latency,
+            hit,
+            bank: index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(banks: usize) -> BankConfig {
+        BankConfig::banked(banks, 128)
+    }
+
+    #[test]
+    fn first_touch_conflicts_then_hits_in_the_open_row() {
+        let mut b = BankSet::new(cfg(4));
+        let first = b.access(0, 0);
+        assert!(!first.hit);
+        assert_eq!(first.done - first.start, DEFAULT_ROW_CONFLICT_CYCLES);
+        // Another line of the same 2KB row: hit.
+        let second = b.access(first.done, 15 * 128);
+        assert!(second.hit);
+        assert_eq!(second.done - second.start, DEFAULT_ROW_HIT_CYCLES);
+        // The next row lives in the next bank — and conflicts cold.
+        let third = b.access(0, 16 * 128);
+        assert_eq!(third.bank, 1);
+        assert!(!third.hit);
+    }
+
+    #[test]
+    fn same_bank_serialises_other_banks_overlap() {
+        let mut b = BankSet::new(cfg(2));
+        let a = b.access(0, 0); // bank 0
+        // Same bank, different row (row 2 -> bank 0): waits, conflicts.
+        let c = b.access(0, 2 * 16 * 128);
+        assert_eq!(c.bank, 0);
+        assert_eq!(c.start, a.done);
+        // Other bank: starts immediately in parallel.
+        let d = b.access(0, 16 * 128);
+        assert_eq!(d.bank, 1);
+        assert_eq!(d.start, 0);
+    }
+
+    #[test]
+    fn row_conflict_closes_the_previous_row() {
+        let mut b = BankSet::new(cfg(1));
+        b.access(0, 0); // opens row 0
+        let conflict = b.access(1_000, 16 * 128); // row 1, same bank
+        assert!(!conflict.hit);
+        // Row 0 is no longer open.
+        let back = b.access(2_000, 0);
+        assert!(!back.hit);
+    }
+
+    #[test]
+    fn map_is_a_function_of_the_row() {
+        let b = BankSet::new(cfg(4));
+        for addr in [0u64, 127, 2047] {
+            assert_eq!(b.bank_of(addr), 0);
+            assert_eq!(b.row_of(addr), 0);
+        }
+        assert_eq!(b.bank_of(2048), 1);
+        assert_eq!(b.bank_of(4 * 2048), 0);
+        assert_eq!(b.row_of(9 * 2048 + 5), 9);
+    }
+
+    #[test]
+    fn flat_config_is_marked_flat() {
+        assert!(BankConfig::flat().is_flat());
+        assert!(!cfg(2).is_flat());
+        assert!(BankConfig::default().is_flat());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cost more")]
+    fn hit_dearer_than_conflict_rejected() {
+        let _ = BankSet::new(cfg(2).with_row_cycles(100, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let mut c = cfg(2);
+        c.banks = 0;
+        let _ = BankSet::new(c);
+    }
+}

@@ -4,11 +4,22 @@
 //! [`MemoryChannel`] couples one [`MemTimingModel`] occupancy timeline
 //! with one [`WriteBuffer`], encapsulating the paper's write-buffer
 //! behaviour (§3.4: writes "steal idle bus cycles") so every backend
-//! models contention identically. [`ChannelSet`] generalises it into
-//! `N` independent channels interleaved by line address — the
-//! multi-controller memory fabric: transactions to different lines
-//! spread across channels and only same-channel traffic queues.
+//! models contention identically, and optionally a [`BankSet`] so
+//! row-buffer locality inside the channel matters. [`ChannelSet`]
+//! generalises it into `N` independent channels interleaved by line
+//! address — the multi-controller memory fabric: transactions to
+//! different lines spread across channels and only same-channel traffic
+//! queues.
+//!
+//! Every demand path takes the transaction's address: with banks
+//! disabled (`BankConfig::flat()`, the paper default) the address is
+//! only used for routing and the timing is bit-identical to the
+//! pre-bank flat occupancy model; with `banks > 1` the address also
+//! selects a `(bank, row)` coordinate and the access is charged
+//! `row_hit_cycles` or `row_conflict_cycles` against that bank's busy
+//! timeline.
 
+use crate::bank::{BankConfig, BankSet};
 use crate::timing::{MemTimingModel, TrafficClass};
 use padlock_cache::WriteBuffer;
 use padlock_stats::CounterSet;
@@ -26,28 +37,47 @@ use padlock_stats::CounterSet;
 /// let mut ch = MemoryChannel::new(100, 8, 8);
 /// ch.enqueue_write(0, 50, 0x80, TrafficClass::LineWrite, 128);
 /// // A read at cycle 60 sees the drained write occupy the channel first.
-/// let done = ch.demand_read(60, TrafficClass::LineRead, 128);
+/// let done = ch.demand_read(60, 0x100, TrafficClass::LineRead, 128);
 /// assert!(done >= 160);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MemoryChannel {
     mem: MemTimingModel,
     write_buffer: WriteBuffer,
+    banks: Option<BankSet>,
 }
 
 impl MemoryChannel {
-    /// Creates a channel with the given DRAM latency, per-transaction
-    /// occupancy, and write-buffer depth.
+    /// Creates a flat (bankless) channel with the given DRAM latency,
+    /// per-transaction occupancy, and write-buffer depth.
     pub fn new(mem_latency: u64, occupancy: u64, write_buffer_entries: usize) -> Self {
         Self {
             mem: MemTimingModel::new(mem_latency, occupancy),
             write_buffer: WriteBuffer::new(write_buffer_entries),
+            banks: None,
         }
+    }
+
+    /// Builder: adds DRAM banks with row-buffer timing beneath the
+    /// channel. A flat config (`banks = 1`) leaves the channel exactly
+    /// as built — the paper's uniform-latency model.
+    pub fn with_banks(mut self, config: BankConfig) -> Self {
+        self.banks = if config.is_flat() {
+            None
+        } else {
+            Some(BankSet::new(config))
+        };
+        self
     }
 
     /// The underlying DRAM timing model (traffic statistics).
     pub fn mem(&self) -> &MemTimingModel {
         &self.mem
+    }
+
+    /// The bank set, when row-buffer modeling is enabled.
+    pub fn banks(&self) -> Option<&BankSet> {
+        self.banks.as_ref()
     }
 
     /// Resets traffic statistics; buffered writes survive.
@@ -56,50 +86,92 @@ impl MemoryChannel {
         self.write_buffer.reset_stats();
     }
 
+    /// Latest cycle the channel (bus or any bank) is busy until.
+    pub fn busy_until(&self) -> u64 {
+        let bus = self.mem.busy_until();
+        match &self.banks {
+            Some(banks) => bus.max(banks.busy_until()),
+            None => bus,
+        }
+    }
+
+    /// Issues one read against the bus (and, when banked, `addr`'s
+    /// bank); returns the data-ready cycle.
+    fn issue_read(&mut self, want: u64, addr: u64, class: TrafficClass, bytes: u32) -> u64 {
+        match &mut self.banks {
+            None => self.mem.read(want, class, bytes),
+            Some(banks) => {
+                let grant = banks.access(want.max(self.mem.busy_until()), addr);
+                self.mem.record_row(grant.hit);
+                self.mem
+                    .read_with_latency(grant.start, class, bytes, grant.done - grant.start)
+            }
+        }
+    }
+
+    /// Issues one posted write against the bus (and, when banked,
+    /// `addr`'s bank); returns the channel-release cycle.
+    fn issue_write(&mut self, want: u64, addr: u64, class: TrafficClass, bytes: u32) -> u64 {
+        match &mut self.banks {
+            None => self.mem.write(want, class, bytes),
+            Some(banks) => {
+                let grant = banks.access(want.max(self.mem.busy_until()), addr);
+                self.mem.record_row(grant.hit);
+                self.mem.write(grant.start, class, bytes)
+            }
+        }
+    }
+
     /// Drains writes whose data became ready by `now` (they used idle
     /// channel slots at their natural times).
     fn drain_ready(&mut self, now: u64) {
         while let Some(entry) = self.write_buffer.pop_ready(now) {
-            self.mem
-                .write(entry.ready_at, TrafficClass::LineWrite, entry.bytes);
+            self.issue_write(entry.ready_at, entry.addr, TrafficClass::LineWrite, entry.bytes);
         }
     }
 
-    /// Issues a demand read; returns its completion cycle.
+    /// Issues a demand read of `addr`; returns its completion cycle.
     ///
     /// Demand reads have priority: the read claims the channel first,
     /// and ready writebacks drain *behind* it (they only delay later
     /// transactions, the way a read-priority memory scheduler behaves).
-    pub fn demand_read(&mut self, now: u64, class: TrafficClass, bytes: u32) -> u64 {
-        let done = self.mem.read(now, class, bytes);
+    pub fn demand_read(&mut self, now: u64, addr: u64, class: TrafficClass, bytes: u32) -> u64 {
+        let done = self.issue_read(now, addr, class, bytes);
         self.drain_ready(now);
         done
     }
 
-    /// Issues a burst of `count` same-class demand reads at `now`;
-    /// returns each read's completion cycle.
+    /// Issues a burst of `count` same-class demand reads of `addr` at
+    /// `now`; returns each read's completion cycle.
     ///
     /// The reads claim consecutive occupancy slots ahead of any pending
     /// writebacks (read-priority scheduling); ready writebacks then
-    /// backfill behind the whole burst. A burst of one is exactly
-    /// [`MemoryChannel::demand_read`].
+    /// backfill behind the whole burst. On a banked channel the first
+    /// read of the burst opens the row and the rest stream out of it as
+    /// row hits. A burst of one is exactly [`MemoryChannel::demand_read`].
     pub fn demand_read_burst(
         &mut self,
         now: u64,
+        addr: u64,
         class: TrafficClass,
         bytes: u32,
         count: usize,
     ) -> Vec<u64> {
-        let done = self.mem.read_burst(now, class, bytes, count);
+        let done = match &self.banks {
+            None => self.mem.read_burst(now, class, bytes, count),
+            Some(_) => (0..count)
+                .map(|_| self.issue_read(now, addr, class, bytes))
+                .collect(),
+        };
         self.drain_ready(now);
         done
     }
 
-    /// Issues a demand (blocking) write, e.g. a forced sequence-number
-    /// spill; returns the channel-release cycle.
-    pub fn demand_write(&mut self, now: u64, class: TrafficClass, bytes: u32) -> u64 {
+    /// Issues a demand (blocking) write of `addr`, e.g. a forced
+    /// sequence-number spill; returns the channel-release cycle.
+    pub fn demand_write(&mut self, now: u64, addr: u64, class: TrafficClass, bytes: u32) -> u64 {
         self.drain_ready(now);
-        self.mem.write(now, class, bytes)
+        self.issue_write(now, addr, class, bytes)
     }
 
     /// Enqueues a buffered writeback whose data (e.g. ciphertext) is
@@ -109,14 +181,14 @@ impl MemoryChannel {
         &mut self,
         now: u64,
         ready_at: u64,
-        _addr: u64,
+        addr: u64,
         class: TrafficClass,
         bytes: u32,
     ) {
         if self.write_buffer.is_full() {
             if let Some(head) = self.write_buffer.pop_ready(u64::MAX) {
                 let start = head.ready_at.max(now);
-                self.mem.write(start, TrafficClass::LineWrite, head.bytes);
+                self.issue_write(start, head.addr, TrafficClass::LineWrite, head.bytes);
             }
         }
         // The entry's own class is recorded when it drains; to keep
@@ -124,9 +196,9 @@ impl MemoryChannel {
         // instead of at drain time.
         if class != TrafficClass::LineWrite {
             // Count now; drain as generic traffic with zero extra bytes.
-            self.mem.write(now.max(ready_at), class, bytes);
+            self.issue_write(now.max(ready_at), addr, class, bytes);
         } else {
-            let pushed = self.write_buffer.push(_addr, ready_at, bytes);
+            let pushed = self.write_buffer.push(addr, ready_at, bytes);
             debug_assert!(pushed, "buffer cannot be full after force-drain");
         }
     }
@@ -141,7 +213,7 @@ impl MemoryChannel {
         let mut drained = 0;
         while let Some(entry) = self.write_buffer.pop_ready(u64::MAX) {
             let start = entry.ready_at.max(now);
-            self.mem.write(start, TrafficClass::LineWrite, entry.bytes);
+            self.issue_write(start, entry.addr, TrafficClass::LineWrite, entry.bytes);
             drained += 1;
         }
         drained
@@ -156,8 +228,9 @@ impl MemoryChannel {
 /// `N` independent, line-address-interleaved DRAM channels.
 ///
 /// Each channel owns its own [`MemTimingModel`] occupancy timeline and
-/// write buffer, so transactions to lines on different channels proceed
-/// in parallel and only same-channel traffic queues. Line `i` (at
+/// write buffer (and, when configured, its own [`BankSet`]), so
+/// transactions to lines on different channels proceed in parallel and
+/// only same-channel traffic queues. Line `i` (at
 /// `addr / interleave_bytes`) lives on channel `i % N`, the same
 /// interleaving `padlock_core`'s `SncShards` uses — pairing shard `k`
 /// with channel `k` in an `N = N` configuration makes each
@@ -185,10 +258,11 @@ impl MemoryChannel {
 pub struct ChannelSet {
     channels: Vec<MemoryChannel>,
     interleave_bytes: u64,
+    bank_config: BankConfig,
 }
 
 impl ChannelSet {
-    /// Creates `channels` idle channels interleaved every
+    /// Creates `channels` idle flat channels interleaved every
     /// `interleave_bytes` (normally the L2 line size).
     ///
     /// # Panics
@@ -208,7 +282,21 @@ impl ChannelSet {
                 .map(|_| MemoryChannel::new(mem_latency, occupancy, write_buffer_entries))
                 .collect(),
             interleave_bytes,
+            bank_config: BankConfig::flat(),
         }
+    }
+
+    /// Builder: adds DRAM banks with row-buffer timing beneath every
+    /// channel. A flat config (`banks = 1`) is a no-op — the paper's
+    /// uniform-latency fabric.
+    pub fn with_banks(mut self, config: BankConfig) -> Self {
+        self.bank_config = config;
+        self.channels = self
+            .channels
+            .into_iter()
+            .map(|ch| ch.with_banks(config))
+            .collect();
+        self
     }
 
     /// Number of channels in the fabric.
@@ -216,14 +304,37 @@ impl ChannelSet {
         self.channels.len()
     }
 
+    /// The bank configuration every channel runs (flat by default).
+    pub fn bank_config(&self) -> &BankConfig {
+        &self.bank_config
+    }
+
     /// The channel index serving `addr` (line-interleaved).
     pub fn channel_of(&self, addr: u64) -> usize {
         ((addr / self.interleave_bytes) % self.channels.len() as u64) as usize
     }
 
+    /// The full `(channel, bank)` coordinate serving `addr`: the line
+    /// interleave picks the channel, the row interleave picks the bank
+    /// within it. With banks disabled the bank coordinate is always 0.
+    pub fn coordinates_of(&self, addr: u64) -> (usize, usize) {
+        let channel = self.channel_of(addr);
+        let bank = match self.channels[channel].banks() {
+            Some(banks) => banks.bank_of(addr),
+            None => 0,
+        };
+        (channel, bank)
+    }
+
     /// The individual channels (diagnostics; per-channel stats).
     pub fn channels(&self) -> &[MemoryChannel] {
         &self.channels
+    }
+
+    /// Latest cycle any channel (bus or bank) is busy until — the
+    /// makespan frontier of everything issued so far.
+    pub fn busy_until(&self) -> u64 {
+        self.channels.iter().map(|ch| ch.busy_until()).max().unwrap_or(0)
     }
 
     /// Aggregated traffic statistics summed over every channel.
@@ -246,14 +357,48 @@ impl ChannelSet {
     /// the completion cycle.
     pub fn demand_read(&mut self, now: u64, addr: u64, class: TrafficClass, bytes: u32) -> u64 {
         let ch = self.channel_of(addr);
-        self.channels[ch].demand_read(now, class, bytes)
+        self.channels[ch].demand_read(now, addr, class, bytes)
+    }
+
+    /// Issues a burst of `count` same-class demand reads of `addr` on
+    /// its channel; returns each read's completion cycle.
+    pub fn demand_read_burst(
+        &mut self,
+        now: u64,
+        addr: u64,
+        class: TrafficClass,
+        bytes: u32,
+        count: usize,
+    ) -> Vec<u64> {
+        let ch = self.channel_of(addr);
+        self.channels[ch].demand_read_burst(now, addr, class, bytes, count)
     }
 
     /// Issues a demand (blocking) write on `addr`'s channel; returns
     /// the channel-release cycle.
     pub fn demand_write(&mut self, now: u64, addr: u64, class: TrafficClass, bytes: u32) -> u64 {
         let ch = self.channel_of(addr);
-        self.channels[ch].demand_write(now, class, bytes)
+        self.channels[ch].demand_write(now, addr, class, bytes)
+    }
+
+    /// Issues a demand write on an *explicit* channel, bypassing the
+    /// address interleave — for controller-managed placement such as
+    /// channel-striped sequence-number-table spills, where the
+    /// controller owns the table layout and stripes packed lines over
+    /// the fabric deliberately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn demand_write_on(
+        &mut self,
+        channel: usize,
+        now: u64,
+        addr: u64,
+        class: TrafficClass,
+        bytes: u32,
+    ) -> u64 {
+        self.channels[channel].demand_write(now, addr, class, bytes)
     }
 
     /// Enqueues a buffered writeback in `addr`'s channel's write
@@ -285,6 +430,7 @@ impl ChannelSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bank::{DEFAULT_ROW_CONFLICT_CYCLES, DEFAULT_ROW_HIT_CYCLES, ROW_LINES};
 
     #[test]
     fn channel_reads_have_priority_over_pending_writes() {
@@ -292,9 +438,9 @@ mod tests {
         ch.enqueue_write(0, 90, 0x80, TrafficClass::LineWrite, 128);
         // Read at 92: it claims the channel first (done at 192); the
         // ready write drains behind it and only delays *later* traffic.
-        let done = ch.demand_read(92, TrafficClass::LineRead, 128);
+        let done = ch.demand_read(92, 0x100, TrafficClass::LineRead, 128);
         assert_eq!(done, 192);
-        let next = ch.demand_read(92, TrafficClass::LineRead, 128);
+        let next = ch.demand_read(92, 0x100, TrafficClass::LineRead, 128);
         assert!(next > 200, "second read queues behind the drained write");
     }
 
@@ -302,7 +448,7 @@ mod tests {
     fn read_burst_claims_slots_ahead_of_ready_writes() {
         let mut ch = MemoryChannel::new(100, 8, 8);
         ch.enqueue_write(0, 50, 0x80, TrafficClass::LineWrite, 128);
-        let dones = ch.demand_read_burst(60, TrafficClass::LineRead, 128, 3);
+        let dones = ch.demand_read_burst(60, 0x100, TrafficClass::LineRead, 128, 3);
         assert_eq!(dones, vec![160, 168, 176]);
         // The ready write backfilled behind the burst.
         assert_eq!(ch.mem().stats().get("line_writes"), 1);
@@ -344,7 +490,7 @@ mod tests {
             bare.enqueue_write(line, line + 60, addr, TrafficClass::LineWrite, 128);
             assert_eq!(
                 set.demand_read(line * 3, addr, TrafficClass::LineRead, 128),
-                bare.demand_read(line * 3, TrafficClass::LineRead, 128)
+                bare.demand_read(line * 3, addr, TrafficClass::LineRead, 128)
             );
         }
         let set_stats: Vec<(String, u64)> = set
@@ -396,5 +542,98 @@ mod tests {
     #[should_panic(expected = "at least one channel")]
     fn zero_channels_rejected() {
         let _ = ChannelSet::new(0, 100, 8, 8, 128);
+    }
+
+    // ---- bank-aware paths ----
+
+    const ROW: u64 = 128 * ROW_LINES; // 2KB
+
+    fn banked_channel(banks: usize) -> MemoryChannel {
+        MemoryChannel::new(100, 8, 8).with_banks(BankConfig::banked(banks, 128))
+    }
+
+    #[test]
+    fn flat_bank_config_keeps_the_flat_model() {
+        let mut flat = MemoryChannel::new(100, 8, 8);
+        let mut one_bank = MemoryChannel::new(100, 8, 8).with_banks(BankConfig::flat());
+        assert!(one_bank.banks().is_none());
+        for line in 0..8u64 {
+            assert_eq!(
+                flat.demand_read(line, line * 128, TrafficClass::LineRead, 128),
+                one_bank.demand_read(line, line * 128, TrafficClass::LineRead, 128)
+            );
+        }
+    }
+
+    #[test]
+    fn open_row_reads_are_hits_and_cheaper() {
+        let mut ch = banked_channel(4);
+        // Cold: conflict.
+        let first = ch.demand_read(0, 0, TrafficClass::LineRead, 128);
+        assert_eq!(first, DEFAULT_ROW_CONFLICT_CYCLES);
+        // Next line of the same row, issued after: row hit streamed
+        // behind the bus slot.
+        let second = ch.demand_read(first, 128, TrafficClass::LineRead, 128);
+        assert_eq!(second, first + DEFAULT_ROW_HIT_CYCLES);
+        assert_eq!(ch.mem().stats().get("row_hits"), 1);
+        assert_eq!(ch.mem().stats().get("row_conflicts"), 1);
+    }
+
+    #[test]
+    fn different_banks_overlap_their_activates() {
+        let mut ch = banked_channel(4);
+        // Rows 0 and 1 live in banks 0 and 1: both conflict cold, but
+        // their activates overlap — only the 8-cycle bus slot queues.
+        let a = ch.demand_read(0, 0, TrafficClass::LineRead, 128);
+        let b = ch.demand_read(0, ROW, TrafficClass::LineRead, 128);
+        assert_eq!(a, DEFAULT_ROW_CONFLICT_CYCLES);
+        assert_eq!(b, 8 + DEFAULT_ROW_CONFLICT_CYCLES);
+        // Same bank, different row (4 banks: row 4 -> bank 0): waits
+        // for bank 0's activate, then conflicts again.
+        let c = ch.demand_read(0, 4 * ROW, TrafficClass::LineRead, 128);
+        assert_eq!(c, a + DEFAULT_ROW_CONFLICT_CYCLES);
+    }
+
+    #[test]
+    fn banked_writes_touch_rows_too() {
+        let mut ch = banked_channel(2);
+        ch.demand_write(0, 0, TrafficClass::LineWrite, 128);
+        // The write opened row 0; a read of it hits.
+        let done = ch.demand_read(500, 128, TrafficClass::LineRead, 128);
+        assert_eq!(done, 500 + DEFAULT_ROW_HIT_CYCLES);
+        assert_eq!(ch.mem().stats().get("row_hits"), 1);
+    }
+
+    #[test]
+    fn banked_buffered_writes_drain_through_their_bank() {
+        let mut ch = banked_channel(2);
+        ch.enqueue_write(0, 50, 0x80, TrafficClass::LineWrite, 128);
+        assert_eq!(ch.flush_writes(60), 1);
+        // The drained write conflicted cold and opened its row.
+        assert_eq!(ch.mem().stats().get("row_conflicts"), 1);
+        assert!(ch.busy_until() >= 60 + DEFAULT_ROW_CONFLICT_CYCLES);
+    }
+
+    #[test]
+    fn set_coordinates_partition_channel_then_bank() {
+        let set = ChannelSet::new(2, 100, 8, 8, 128).with_banks(BankConfig::banked(4, 128));
+        assert_eq!(set.bank_config().banks, 4);
+        // Line interleave picks the channel; row interleave the bank.
+        assert_eq!(set.coordinates_of(0), (0, 0));
+        assert_eq!(set.coordinates_of(128), (1, 0));
+        assert_eq!(set.coordinates_of(ROW), (0, 1));
+        assert_eq!(set.coordinates_of(4 * ROW + 128), (1, 0));
+        // Flat set: bank coordinate pinned to 0.
+        let flat = ChannelSet::new(2, 100, 8, 8, 128);
+        assert_eq!(flat.coordinates_of(3 * ROW + 128), (1, 0));
+    }
+
+    #[test]
+    fn demand_write_on_routes_to_the_named_channel() {
+        let mut set = ChannelSet::new(4, 100, 8, 8, 128);
+        set.demand_write_on(2, 0, 0, TrafficClass::SeqWrite, 128);
+        assert_eq!(set.channels()[2].mem().stats().get("seq_writes"), 1);
+        assert_eq!(set.channels()[0].mem().stats().get("seq_writes"), 0);
+        assert!(set.busy_until() >= 8);
     }
 }

@@ -1,10 +1,13 @@
 //! Main-memory models for the `padlock` secure-processor simulator.
 //!
-//! Four independent pieces:
+//! Five independent pieces:
 //!
 //! * [`MemTimingModel`] — the flat-latency DRAM + shared-channel occupancy
 //!   model the paper assumes (100-cycle reads), with traffic accounting by
 //!   class so Fig. 9 (SNC-induced traffic) can be reproduced;
+//! * [`BankSet`] — per-channel DRAM banks with open-row registers, so an
+//!   access is charged the row-hit or row-conflict (precharge + activate)
+//!   latency and locality inside a channel matters;
 //! * [`MemoryChannel`] / [`ChannelSet`] — one write-buffered DRAM channel,
 //!   and the line-address-interleaved multi-channel fabric that lets a
 //!   transaction engine spread independent misses over `N` controllers;
@@ -26,11 +29,15 @@
 
 #![warn(missing_docs)]
 
+mod bank;
 mod channel;
 mod region;
 mod sparse;
 mod timing;
 
+pub use bank::{
+    BankConfig, BankGrant, BankSet, DEFAULT_ROW_CONFLICT_CYCLES, DEFAULT_ROW_HIT_CYCLES, ROW_LINES,
+};
 pub use channel::{ChannelSet, MemoryChannel};
 pub use region::{RegionMap, RegionOverlap};
 pub use sparse::SparseMemory;

@@ -148,6 +148,30 @@ impl MemTimingModel {
         start + self.access_latency
     }
 
+    /// Issues a read at `now` whose data arrives `latency` cycles after
+    /// it starts, instead of the flat access latency — the entry point
+    /// the bank layer uses to charge row-hit or row-conflict timing
+    /// while keeping channel-occupancy accounting identical.
+    pub fn read_with_latency(
+        &mut self,
+        now: u64,
+        class: TrafficClass,
+        bytes: u32,
+        latency: u64,
+    ) -> u64 {
+        let start = now.max(self.busy_until);
+        self.busy_until = start + self.occupancy;
+        self.record(class, bytes);
+        start + latency
+    }
+
+    /// Records a row-buffer outcome (`row_hits` / `row_conflicts`) in
+    /// this channel's statistics; only banked channels call this.
+    pub fn record_row(&mut self, hit: bool) {
+        self.stats
+            .incr(if hit { "row_hits" } else { "row_conflicts" });
+    }
+
     /// Issues `count` back-to-back reads wanted at `now`; returns each
     /// read's completion cycle.
     ///

@@ -351,8 +351,11 @@ pub const BENCHMARK_NAMES: [&str; 11] = [
 ];
 
 /// Profiles [`benchmark_profile`] knows beyond the 11 figure
-/// benchmarks: stress workloads for the MLP sweeps.
-pub const STRESS_NAMES: [&str; 1] = ["bfs"];
+/// benchmarks: stress workloads for the MLP and bank sweeps — `bfs`
+/// (independent random reads, deep MLP for banks to overlap) and
+/// `rstride` (a serial random-stride walk that row-conflicts on every
+/// access).
+pub const STRESS_NAMES: [&str; 2] = ["bfs", "rstride"];
 
 /// Builds the full 11-benchmark suite in the paper's figure order.
 ///
@@ -677,6 +680,38 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             code_bytes: 16 << 10,
             branch_flip_frac: 0.08,
             seed: 0xa30c,
+        },
+        // Random-stride pointer walk: every chase load's target comes
+        // out of the previous load (serial dependence chain), and
+        // consecutive targets land in uniformly random lines of a
+        // 32MB region — the adversarial traffic for a row-buffer
+        // memory. There is no memory-level parallelism for banks to
+        // overlap and essentially no open-row reuse, so on a banked
+        // fabric every DRAM access pays the precharge + activate
+        // conflict path: the row-conflict-bound counterpart to `bfs`'s
+        // bank-parallel independent chase.
+        "rstride" => SpecProfile {
+            name: "rstride",
+            load_frac: 0.40,
+            store_frac: 0.06,
+            branch_frac: 0.10,
+            fp_frac: 0.0,
+            hot_bytes: 32 << 10,
+            stream_bytes: 0,
+            chase_bytes: 32 << 20,
+            drift_region_bytes: 0,
+            drift_window_bytes: 0,
+            drift_advance_every: 8,
+            drift_line_stride: 1,
+            read_mix: [0.15, 0.0, 0.85, 0.0],
+            write_mix: [1.0, 0.0, 0.0, 0.0],
+            ancient_lines: 96 * 1024,
+            drift_cold_read_frac: 0.0,
+            serial_chase: true,
+            independent_chase: false,
+            code_bytes: 8 << 10,
+            branch_flip_frac: 0.05,
+            seed: 0x57f1,
         },
         other => panic!("unknown benchmark {other:?}"),
     };
