@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use padlock_bench::{run_e2e_point, run_mlp_point, E2eTrace};
+use padlock_mem::{DrainOrder, PagePolicy};
 
 fn channel_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("channel_sweep");
@@ -16,7 +17,11 @@ fn channel_sweep(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("batch", format!("{channels}ch")),
             &channels,
-            |b, &channels| b.iter(|| run_mlp_point(16, 4, channels, 1, lines)),
+            |b, &channels| {
+                b.iter(|| {
+                    run_mlp_point(16, 4, channels, 1, DrainOrder::Fifo, PagePolicy::Open, lines)
+                })
+            },
         );
     }
     // The bank dimension: the same miss-heavy batch with row-buffer
@@ -25,29 +30,72 @@ fn channel_sweep(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("batch", format!("4ch{banks}bk")),
             &banks,
-            |b, &banks| b.iter(|| run_mlp_point(16, 4, 4, banks, lines)),
+            |b, &banks| {
+                b.iter(|| run_mlp_point(16, 4, 4, banks, DrainOrder::Fifo, PagePolicy::Open, lines))
+            },
         );
     }
+    // The drain-order dimension: the banked batch drained FR-FCFS
+    // row-first instead of in arrival order.
+    g.bench_with_input(
+        BenchmarkId::new("batch", "4ch8bk_rowfirst"),
+        &8usize,
+        |b, &banks| {
+            b.iter(|| {
+                run_mlp_point(16, 4, 4, banks, DrainOrder::RowFirst, PagePolicy::Open, lines)
+            })
+        },
+    );
     let trace = E2eTrace::record("bfs", 4_000, 12_000);
     for channels in [1usize, 4] {
         g.bench_with_input(
             BenchmarkId::new("e2e", format!("{channels}ch")),
             &channels,
-            |b, &channels| b.iter(|| run_e2e_point(&trace, 8, channels, 1, 32)),
+            |b, &channels| {
+                b.iter(|| {
+                    run_e2e_point(&trace, 8, channels, 1, 32, DrainOrder::Fifo, PagePolicy::Open)
+                })
+            },
         );
     }
     for banks in [4usize, 8] {
         g.bench_with_input(
             BenchmarkId::new("e2e", format!("4ch{banks}bk")),
             &banks,
-            |b, &banks| b.iter(|| run_e2e_point(&trace, 8, 4, banks, 32)),
+            |b, &banks| {
+                b.iter(|| {
+                    run_e2e_point(&trace, 8, 4, banks, 32, DrainOrder::Fifo, PagePolicy::Open)
+                })
+            },
         );
     }
+    g.bench_with_input(
+        BenchmarkId::new("e2e", "4ch8bk_rowfirst"),
+        &8usize,
+        |b, &banks| {
+            b.iter(|| {
+                run_e2e_point(&trace, 8, 4, banks, 32, DrainOrder::RowFirst, PagePolicy::Open)
+            })
+        },
+    );
     let rstride = E2eTrace::record("rstride", 4_000, 12_000);
     g.bench_with_input(
         BenchmarkId::new("e2e_rstride", "4ch4bk"),
         &4usize,
-        |b, &banks| b.iter(|| run_e2e_point(&rstride, 8, 4, banks, 32)),
+        |b, &banks| {
+            b.iter(|| run_e2e_point(&rstride, 8, 4, banks, 32, DrainOrder::Fifo, PagePolicy::Open))
+        },
+    );
+    // Closed-page auto-precharge on the conflict-bound walk: the page
+    // policy the rstride row motivates.
+    g.bench_with_input(
+        BenchmarkId::new("e2e_rstride", "4ch4bk_closed"),
+        &4usize,
+        |b, &banks| {
+            b.iter(|| {
+                run_e2e_point(&rstride, 8, 4, banks, 32, DrainOrder::Fifo, PagePolicy::Closed)
+            })
+        },
     );
     g.finish();
 }

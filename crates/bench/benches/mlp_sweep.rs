@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use padlock_bench::run_mlp_point;
+use padlock_mem::{DrainOrder, PagePolicy};
 
 fn mlp_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("mlp_sweep");
@@ -16,7 +17,19 @@ fn mlp_sweep(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("inflight{inflight}"), format!("{shards}shard")),
                 &(inflight, shards),
-                |b, &(inflight, shards)| b.iter(|| run_mlp_point(inflight, shards, 1, 1, lines)),
+                |b, &(inflight, shards)| {
+                    b.iter(|| {
+                        run_mlp_point(
+                            inflight,
+                            shards,
+                            1,
+                            1,
+                            DrainOrder::Fifo,
+                            PagePolicy::Open,
+                            lines,
+                        )
+                    })
+                },
             );
         }
     }

@@ -11,6 +11,7 @@
 //! ```
 
 use padlock_bench::{E2eTrace, Lab, RunScale};
+use padlock_mem::{DrainOrder, PagePolicy, ROW_LINES};
 use std::path::PathBuf;
 
 struct Args {
@@ -23,6 +24,8 @@ struct Args {
     channels: Vec<usize>,
     mshrs: Vec<usize>,
     banks: Option<Vec<usize>>,
+    order: DrainOrder,
+    page: PagePolicy,
     trace: String,
 }
 
@@ -37,6 +40,24 @@ fn parse_axis(flag: &str, value: &str) -> Vec<usize> {
         .collect();
     if axis.is_empty() || axis.contains(&0) {
         usage_error(&format!("{flag} needs positive counts"));
+    }
+    axis
+}
+
+/// The bank axis carries an extra constraint the generic axis parser
+/// cannot see: rows are [`ROW_LINES`] lines and rotate over banks, so a
+/// bank count that does not divide the row would leave the row-hit
+/// tables silently comparing unequal bank populations. Reject it
+/// loudly instead of mis-mapping.
+fn parse_banks_axis(value: &str) -> Vec<usize> {
+    let axis = parse_axis("--banks", value);
+    for &banks in &axis {
+        if !ROW_LINES.is_multiple_of(banks as u64) {
+            usage_error(&format!(
+                "--banks values must divide the {ROW_LINES}-line row \
+                 (1,2,4,8,16), got {banks}"
+            ));
+        }
     }
     axis
 }
@@ -57,6 +78,8 @@ fn parse_args() -> Args {
         channels: vec![1, 2, 4],
         mshrs: vec![1, 2, 4, 8],
         banks: None,
+        order: DrainOrder::Fifo,
+        page: PagePolicy::Open,
         trace: "bfs".to_string(),
     };
     let mut iter = std::env::args().skip(1);
@@ -79,7 +102,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--calibrate [--snc]]\n\
                      \x20      [--mlp [--channels A,B,..] [--mshrs A,B,..] [--banks A,B,..]\n\
-                     \x20       [--trace BENCH]]\n\
+                     \x20       [--order fifo|row-first] [--page open|closed] [--trace BENCH]]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
                      Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
                      --calibrate prints per-benchmark CPI/miss diagnostics instead;\n\
@@ -91,10 +114,15 @@ fn parse_args() -> Args {
                      blocking single-channel machine.\n\
                      --channels / --mshrs set the sweep axes (comma-separated);\n\
                      --banks additionally sweeps DRAM banks per channel with\n\
-                     row-buffer timing, comparing the chosen trace against the\n\
-                     row-conflict-bound rstride walk; --trace picks the recorded\n\
-                     benchmark (default bfs, the miss-heavy graph-traversal\n\
-                     workload)."
+                     row-buffer timing (values must divide the 16-line row),\n\
+                     comparing the chosen trace against the row-conflict-bound\n\
+                     rstride walk and printing the fifo vs row-first\n\
+                     row-hit-delta table; --order picks the drain scheduler's\n\
+                     issue order (fifo = arrival order, row-first = FR-FCFS\n\
+                     grouping of same-row misses); --page picks the bank page\n\
+                     policy (open rows vs closed-page auto-precharge);\n\
+                     --trace picks the recorded benchmark (default bfs, the\n\
+                     miss-heavy graph-traversal workload)."
                 );
                 std::process::exit(0);
             }
@@ -111,7 +139,27 @@ fn parse_args() -> Args {
             }
             "--banks" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--banks needs counts"));
-                args.banks = Some(parse_axis("--banks", &v));
+                args.banks = Some(parse_banks_axis(&v));
+            }
+            "--order" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--order needs a policy"));
+                args.order = match v.as_str() {
+                    "fifo" => DrainOrder::Fifo,
+                    "row-first" => DrainOrder::RowFirst,
+                    other => usage_error(&format!(
+                        "--order expects fifo or row-first, got {other:?}"
+                    )),
+                };
+            }
+            "--page" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--page needs a policy"));
+                args.page = match v.as_str() {
+                    "open" => PagePolicy::Open,
+                    "closed" => PagePolicy::Closed,
+                    other => usage_error(&format!(
+                        "--page expects open or closed, got {other:?}"
+                    )),
+                };
             }
             "--trace" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--trace needs a benchmark"));
@@ -207,35 +255,70 @@ fn mlp(args: &Args) {
     );
     println!(
         "(OTP + 64-entry LRU SNC, 128-entry ROB, shards paired with channels,\n\
-         max_inflight = min(4 x mshrs, 32); cells are CPI of a {measure}-op window\n\
-         and speedup vs the blocking 1-MSHR single-channel paper machine)\n"
+         max_inflight = min(4 x mshrs, 32), {} drain order, {}-page banks;\n\
+         cells are CPI of a {measure}-op window and speedup vs the blocking\n\
+         1-MSHR single-channel paper machine)\n",
+        args.order, args.page
     );
     let trace = E2eTrace::record(&args.trace, warmup, measure);
-    let table = padlock_bench::e2e_table(&trace, &args.mshrs, &args.channels);
+    let table =
+        padlock_bench::e2e_table(&trace, &args.mshrs, &args.channels, args.order, args.page);
     println!("{}", table.render_text());
 
     if let Some(bank_axis) = &args.banks {
         let channels = args.channels.iter().copied().max().unwrap_or(4);
         println!(
-            "\n== MLP x banks — row-buffer locality end to end ({channels} channels, 8 MSHRs, 32 in-flight) =="
+            "\n== MLP x banks — row-buffer locality end to end ({channels} channels, 8 MSHRs, 32 in-flight, {} drain, {}-page) ==",
+            args.order, args.page
         );
         println!(
             "(each channel gets N banks with open-row registers: hits cost {} cycles,\n\
-             precharge+activate conflicts {}; banks=1 is the paper's flat 100-cycle DRAM.\n\
-             Traces with independent in-flight misses (bfs) let banks overlap their\n\
-             activates; the rstride walk is serial and row-hops every access —\n\
-             conflict-bound at any width)\n",
+             precharge+activate conflicts {}, closed-page accesses {};\n\
+             banks=1 is the paper's flat 100-cycle DRAM. Traces with independent\n\
+             in-flight misses (bfs) let banks overlap their activates; the rstride\n\
+             walk is serial and row-hops every access — conflict-bound at any\n\
+             width under open-page rows, but cheaper under closed-page)\n",
             padlock_mem::DEFAULT_ROW_HIT_CYCLES,
             padlock_mem::DEFAULT_ROW_CONFLICT_CYCLES,
+            padlock_mem::DEFAULT_ROW_CLOSED_CYCLES,
         );
         // The chosen trace is contrasted against the rstride walk —
         // unless it *is* rstride, which then stands alone.
-        let table = if args.trace == "rstride" {
-            padlock_bench::bank_table(&[&trace], bank_axis, channels)
+        let traces: Vec<&E2eTrace>;
+        let rstride;
+        if args.trace == "rstride" {
+            traces = vec![&trace];
         } else {
-            let rstride = E2eTrace::record("rstride", warmup, measure);
-            padlock_bench::bank_table(&[&trace, &rstride], bank_axis, channels)
+            rstride = E2eTrace::record("rstride", warmup, measure);
+            traces = vec![&trace, &rstride];
+        }
+        // Each (banks, trace, order) machine is simulated exactly once:
+        // the grid of the selected order feeds the bank table and one
+        // side of the delta table; only the other order runs fresh.
+        let selected =
+            padlock_bench::banked_grid(&traces, bank_axis, channels, args.order, args.page);
+        let table = padlock_bench::bank_table_from(&traces, bank_axis, &selected);
+        println!("{}", table.render_text());
+
+        println!(
+            "\n== FR-FCFS row-hit delta — fifo vs row-first drains on the same machines =="
+        );
+        println!(
+            "(same deep banked machine per cell; the reorder groups same-row misses\n\
+             back-to-back, so hits rise and CPI falls while every traffic counter\n\
+             and the hit+conflict total stay exact — conversions, not new work)\n"
+        );
+        let other_order = match args.order {
+            DrainOrder::Fifo => DrainOrder::RowFirst,
+            DrainOrder::RowFirst => DrainOrder::Fifo,
         };
+        let other =
+            padlock_bench::banked_grid(&traces, bank_axis, channels, other_order, args.page);
+        let (fifo, rowf) = match args.order {
+            DrainOrder::Fifo => (&selected, &other),
+            DrainOrder::RowFirst => (&other, &selected),
+        };
+        let table = padlock_bench::order_delta_table_from(&traces, bank_axis, fifo, rowf);
         println!("{}", table.render_text());
     }
 }

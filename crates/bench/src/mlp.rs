@@ -24,6 +24,7 @@ use padlock_core::{
     Machine, MachineConfig, SecureBackend, SecureBackendConfig, SecurityMode, SncConfig,
 };
 use padlock_cpu::{LineKind, MemoryBackend, Workload};
+use padlock_mem::{DrainOrder, PagePolicy};
 use padlock_stats::Table;
 use padlock_workloads::{benchmark_profile, SpecWorkload, TracePlayer, TraceRecorder, CHASE_BASE};
 
@@ -64,6 +65,8 @@ pub fn miss_heavy_backend(
     snc_shards: usize,
     mem_channels: usize,
     mem_banks: usize,
+    order: DrainOrder,
+    page: PagePolicy,
     lines: u64,
 ) -> SecureBackend {
     let snc = SncConfig::paper_default().with_capacity(128);
@@ -72,6 +75,8 @@ pub fn miss_heavy_backend(
         .with_snc_shards(snc_shards)
         .with_mem_channels(mem_channels)
         .with_mem_banks(mem_banks)
+        .with_drain_order(order)
+        .with_page_policy(page)
         .with_snc_port_cycles(SWEEP_SNC_PORT_CYCLES);
     let mut backend = SecureBackend::new(cfg);
     backend.pre_age((0..lines).map(line_addr), std::iter::empty());
@@ -91,9 +96,19 @@ pub fn run_mlp_point(
     snc_shards: usize,
     mem_channels: usize,
     mem_banks: usize,
+    order: DrainOrder,
+    page: PagePolicy,
     lines: u64,
 ) -> MlpPoint {
-    let mut backend = miss_heavy_backend(max_inflight, snc_shards, mem_channels, mem_banks, lines);
+    let mut backend = miss_heavy_backend(
+        max_inflight,
+        snc_shards,
+        mem_channels,
+        mem_banks,
+        order,
+        page,
+        lines,
+    );
     let reqs: Vec<(u64, LineKind)> =
         (0..lines).map(|i| (line_addr(i), LineKind::Data)).collect();
     let dones = backend.line_read_batch(0, &reqs);
@@ -123,7 +138,7 @@ pub fn mlp_table(
         }
     }
     let mut table = Table::new(header);
-    let base_point = run_mlp_point(1, 1, 1, 1, lines);
+    let base_point = run_mlp_point(1, 1, 1, 1, DrainOrder::Fifo, PagePolicy::Open, lines);
     let base = base_point.cycles_per_read();
     for &inflight in inflights {
         let mut row = vec![inflight.to_string()];
@@ -132,7 +147,15 @@ pub fn mlp_table(
                 let p = if (inflight, shards, channels) == (1, 1, 1) {
                     base_point
                 } else {
-                    run_mlp_point(inflight, shards, channels, 1, lines)
+                    run_mlp_point(
+                        inflight,
+                        shards,
+                        channels,
+                        1,
+                        DrainOrder::Fifo,
+                        PagePolicy::Open,
+                        lines,
+                    )
                 };
                 row.push(format!(
                     "{:7.1} cyc/read ({:4.2}x)",
@@ -238,6 +261,8 @@ pub fn e2e_machine_config(
     mem_channels: usize,
     mem_banks: usize,
     max_inflight: usize,
+    order: DrainOrder,
+    page: PagePolicy,
 ) -> MachineConfig {
     let snc = SncConfig::paper_default().with_capacity(128);
     let mut cfg = MachineConfig::paper(SecurityMode::Otp { snc });
@@ -248,25 +273,31 @@ pub fn e2e_machine_config(
         .with_max_inflight(max_inflight)
         .with_snc_shards(mem_channels)
         .with_mem_channels(mem_channels)
-        .with_mem_banks(mem_banks);
+        .with_mem_banks(mem_banks)
+        .with_drain_order(order)
+        .with_page_policy(page);
     cfg
 }
 
 /// Runs one end-to-end cell: the recorded trace through a full machine
 /// (core + hierarchy + engine) at the given MSHR/channel/inflight
-/// depth.
+/// depth, drain order, and page policy.
 pub fn run_e2e_point(
     trace: &E2eTrace,
     l2_mshrs: usize,
     mem_channels: usize,
     mem_banks: usize,
     max_inflight: usize,
+    order: DrainOrder,
+    page: PagePolicy,
 ) -> E2ePoint {
     let mut machine = Machine::new(e2e_machine_config(
         l2_mshrs,
         mem_channels,
         mem_banks,
         max_inflight,
+        order,
+        page,
     ));
     machine
         .core_mut()
@@ -298,21 +329,30 @@ pub fn inflight_for(l2_mshrs: usize) -> usize {
 
 /// The full end-to-end sweep as a rendered table: one row per MSHR
 /// depth, one column per channel count, each cell
-/// `CPI (speedup vs the 1-MSHR 1-channel paper machine)`.
-pub fn e2e_table(trace: &E2eTrace, mshr_counts: &[usize], channel_counts: &[usize]) -> Table {
+/// `CPI (speedup vs the 1-MSHR 1-channel paper machine)`. The drain
+/// order and page policy apply to every cell (on this flat
+/// `mem_banks = 1` grid both are inert — the knob is exercised, the
+/// numbers match Fifo/Open exactly).
+pub fn e2e_table(
+    trace: &E2eTrace,
+    mshr_counts: &[usize],
+    channel_counts: &[usize],
+    order: DrainOrder,
+    page: PagePolicy,
+) -> Table {
     let mut header = vec!["mshrs".to_string()];
     for &c in channel_counts {
         header.push(format!("{c} channel{}", if c == 1 { "" } else { "s" }));
     }
     let mut table = Table::new(header);
-    let base = run_e2e_point(trace, 1, 1, 1, 1);
+    let base = run_e2e_point(trace, 1, 1, 1, 1, order, page);
     for &mshrs in mshr_counts {
         let mut row = vec![mshrs.to_string()];
         for &channels in channel_counts {
             let p = if (mshrs, channels) == (1, 1) {
                 base
             } else {
-                run_e2e_point(trace, mshrs, channels, 1, inflight_for(mshrs))
+                run_e2e_point(trace, mshrs, channels, 1, inflight_for(mshrs), order, page)
             };
             row.push(format!(
                 "{:5.2} CPI ({:4.2}x)",
@@ -325,44 +365,54 @@ pub fn e2e_table(trace: &E2eTrace, mshr_counts: &[usize], channel_counts: &[usiz
     table
 }
 
-/// The bank sweep: a fixed deep machine (8 MSHRs, 32 in-flight,
-/// `channels` channels paired with shards) across the `mem_banks`
-/// axis, one column per recorded trace — so bank-parallel traffic
-/// (`bfs`: independent random reads the MSHR file keeps in flight) and
-/// row-conflict-bound traffic (`rstride`: a serial random walk) can be
-/// compared end to end. Cells are CPI, the speedup over the same trace
-/// at the first bank count on the axis, and the window's row-buffer
-/// hit rate.
-pub fn bank_table(traces: &[&E2eTrace], bank_counts: &[usize], channels: usize) -> Table {
+/// Simulates the deep banked machine (8 MSHRs, 32 in-flight,
+/// `channels` channels paired with shards) over the bank axis for
+/// every trace: `grid[bank_index][trace_index]`. Both bank-sweep
+/// tables render from one of these, so a caller printing several
+/// tables of the same machines simulates each cell exactly once.
+pub fn banked_grid(
+    traces: &[&E2eTrace],
+    bank_counts: &[usize],
+    channels: usize,
+    order: DrainOrder,
+    page: PagePolicy,
+) -> Vec<Vec<E2ePoint>> {
     assert!(!bank_counts.is_empty(), "bank axis cannot be empty");
+    bank_counts
+        .iter()
+        .map(|&banks| {
+            traces
+                .iter()
+                .map(|t| run_e2e_point(t, 8, channels, banks, 32, order, page))
+                .collect()
+        })
+        .collect()
+}
+
+/// The bank sweep: one row per bank count, one column per recorded
+/// trace — so bank-parallel traffic (`bfs`: independent in-flight
+/// reads) and row-conflict-bound traffic (`rstride`: a serial random
+/// walk) can be compared end to end. Cells are CPI, the speedup over
+/// the same trace at the first bank count on the axis, and the
+/// window's row-buffer hit rate. Renders a [`banked_grid`].
+pub fn bank_table_from(
+    traces: &[&E2eTrace],
+    bank_counts: &[usize],
+    grid: &[Vec<E2ePoint>],
+) -> Table {
     let mut header = vec!["banks".to_string()];
     for t in traces {
         header.push(t.name().to_string());
     }
     let mut table = Table::new(header);
-    let bases: Vec<E2ePoint> = traces
-        .iter()
-        .map(|t| run_e2e_point(t, 8, channels, bank_counts[0], 32))
-        .collect();
     for (bank_index, &banks) in bank_counts.iter().enumerate() {
         let mut row = vec![banks.to_string()];
-        for (trace_index, t) in traces.iter().enumerate() {
-            let p = if bank_index == 0 {
-                bases[trace_index]
-            } else {
-                run_e2e_point(t, 8, channels, banks, 32)
-            };
-            let rows_touched = p.row_hits + p.row_conflicts;
-            let hit_pct = if rows_touched == 0 {
-                0.0
-            } else {
-                p.row_hits as f64 / rows_touched as f64 * 100.0
-            };
+        for (trace_index, p) in grid[bank_index].iter().enumerate() {
             row.push(format!(
                 "{:5.2} CPI ({:4.2}x, {:3.0}% row hits)",
                 p.cpi(),
-                bases[trace_index].cycles as f64 / p.cycles as f64,
-                hit_pct
+                grid[0][trace_index].cycles as f64 / p.cycles as f64,
+                hit_pct(p)
             ));
         }
         table.push_row(row);
@@ -370,16 +420,126 @@ pub fn bank_table(traces: &[&E2eTrace], bank_counts: &[usize], channels: usize) 
     table
 }
 
+/// [`bank_table_from`] over a freshly simulated [`banked_grid`].
+pub fn bank_table(
+    traces: &[&E2eTrace],
+    bank_counts: &[usize],
+    channels: usize,
+    order: DrainOrder,
+    page: PagePolicy,
+) -> Table {
+    let grid = banked_grid(traces, bank_counts, channels, order, page);
+    bank_table_from(traces, bank_counts, &grid)
+}
+
+/// The window's row-buffer hit rate as a percentage.
+fn hit_pct(p: &E2ePoint) -> f64 {
+    let rows_touched = p.row_hits + p.row_conflicts;
+    if rows_touched == 0 {
+        0.0
+    } else {
+        p.row_hits as f64 / rows_touched as f64 * 100.0
+    }
+}
+
+/// The row-hit-delta table: the same machines drained in arrival order
+/// vs FR-FCFS row-first order, one row per bank count, one column per
+/// trace. Each cell reports both orders' row-hit rates, the row hits
+/// the reorder converted out of conflicts, and the CPI movement — the
+/// direct measurement of what bank-aware drain ordering buys, since
+/// reordering leaves every traffic counter and the hit + conflict
+/// total untouched by construction. `fifo` and `rowf` are
+/// [`banked_grid`]s of the two orders over the same traces and axis.
+pub fn order_delta_table_from(
+    traces: &[&E2eTrace],
+    bank_counts: &[usize],
+    fifo: &[Vec<E2ePoint>],
+    rowf: &[Vec<E2ePoint>],
+) -> Table {
+    let mut header = vec!["banks".to_string()];
+    for t in traces {
+        header.push(format!("{} (fifo -> row-first)", t.name()));
+    }
+    let mut table = Table::new(header);
+    for (bank_index, &banks) in bank_counts.iter().enumerate() {
+        let mut row = vec![banks.to_string()];
+        for trace_index in 0..traces.len() {
+            let (f, r) = (&fifo[bank_index][trace_index], &rowf[bank_index][trace_index]);
+            row.push(format!(
+                "{:3.0}% -> {:3.0}% hits (+{} rows), {:5.2} -> {:5.2} CPI ({:4.2}x)",
+                hit_pct(f),
+                hit_pct(r),
+                r.row_hits.saturating_sub(f.row_hits),
+                f.cpi(),
+                r.cpi(),
+                f.cycles as f64 / r.cycles as f64,
+            ));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// [`order_delta_table_from`] over two freshly simulated grids.
+pub fn order_delta_table(
+    traces: &[&E2eTrace],
+    bank_counts: &[usize],
+    channels: usize,
+    page: PagePolicy,
+) -> Table {
+    let fifo = banked_grid(traces, bank_counts, channels, DrainOrder::Fifo, page);
+    let rowf = banked_grid(traces, bank_counts, channels, DrainOrder::RowFirst, page);
+    order_delta_table_from(traces, bank_counts, &fifo, &rowf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The paper-default scheduling knobs every pre-existing sweep ran
+    /// with: arrival-order drains over open-page banks.
+    fn mlp_point(
+        inflight: usize,
+        shards: usize,
+        channels: usize,
+        banks: usize,
+        lines: u64,
+    ) -> MlpPoint {
+        run_mlp_point(
+            inflight,
+            shards,
+            channels,
+            banks,
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+            lines,
+        )
+    }
+
+    fn e2e_point(
+        trace: &E2eTrace,
+        mshrs: usize,
+        channels: usize,
+        banks: usize,
+        inflight: usize,
+    ) -> E2ePoint {
+        run_e2e_point(
+            trace,
+            mshrs,
+            channels,
+            banks,
+            inflight,
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+        )
+    }
 
     #[test]
     fn read_throughput_improves_monotonically_with_inflight() {
         let lines = 512;
         let mut last = u64::MAX;
         for inflight in [1usize, 2, 4, 8, 16] {
-            let p = run_mlp_point(inflight, 1, 1, 1, lines);
+            let p = mlp_point(inflight, 1, 1, 1, lines);
             assert!(
                 p.total_cycles <= last,
                 "inflight {inflight}: {} after {last}",
@@ -388,8 +548,8 @@ mod tests {
             last = p.total_cycles;
         }
         // And the gain is substantial, not marginal.
-        let serial = run_mlp_point(1, 1, 1, 1, lines);
-        let deep = run_mlp_point(16, 1, 1, 1, lines);
+        let serial = mlp_point(1, 1, 1, 1, lines);
+        let deep = mlp_point(16, 1, 1, 1, lines);
         assert!(
             serial.total_cycles as f64 / deep.total_cycles as f64 > 2.0,
             "serial {} vs deep {}",
@@ -401,8 +561,8 @@ mod tests {
     #[test]
     fn sharding_relieves_port_contention_under_deep_inflight() {
         let lines = 512;
-        let one = run_mlp_point(16, 1, 1, 1, lines);
-        let four = run_mlp_point(16, 4, 1, 1, lines);
+        let one = mlp_point(16, 1, 1, 1, lines);
+        let four = mlp_point(16, 4, 1, 1, lines);
         assert!(
             four.total_cycles <= one.total_cycles,
             "4 shards {} vs 1 shard {}",
@@ -414,8 +574,8 @@ mod tests {
     #[test]
     fn channels_relieve_dram_contention_under_deep_inflight() {
         let lines = 512;
-        let one = run_mlp_point(32, 4, 1, 1, lines);
-        let four = run_mlp_point(32, 4, 4, 1, lines);
+        let one = mlp_point(32, 4, 1, 1, lines);
+        let four = mlp_point(32, 4, 4, 1, lines);
         assert!(
             four.total_cycles < one.total_cycles,
             "4 channels {} vs 1 channel {}",
@@ -441,8 +601,8 @@ mod tests {
         // least 2x faster end-to-end than the paper-default blocking
         // machine on a miss-heavy recorded benchmark trace.
         let trace = E2eTrace::record("bfs", 40_000, 120_000);
-        let base = run_e2e_point(&trace, 1, 1, 1, 1);
-        let deep = run_e2e_point(&trace, 8, 4, 1, 32);
+        let base = e2e_point(&trace, 1, 1, 1, 1);
+        let deep = e2e_point(&trace, 8, 4, 1, 32);
         assert_eq!(base.instructions, deep.instructions);
         let speedup = base.cycles as f64 / deep.cycles as f64;
         assert!(
@@ -458,7 +618,7 @@ mod tests {
         let trace = E2eTrace::record("bfs", 20_000, 60_000);
         let mut last: Option<u64> = None;
         for mshrs in [1usize, 2, 8] {
-            let p = run_e2e_point(&trace, mshrs, 2, 1, inflight_for(mshrs));
+            let p = e2e_point(&trace, mshrs, 2, 1, inflight_for(mshrs));
             if let Some(best) = last {
                 // Deeper files must not lose more than 2% to drain
                 // batching (late dependent discovery).
@@ -475,7 +635,7 @@ mod tests {
     #[test]
     fn e2e_table_prints_channel_axis() {
         let trace = E2eTrace::record("bfs", 5_000, 20_000);
-        let t = e2e_table(&trace, &[1, 8], &[1, 4]);
+        let t = e2e_table(&trace, &[1, 8], &[1, 4], DrainOrder::Fifo, PagePolicy::Open);
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.col_count(), 3);
         let text = t.render_text();
@@ -497,9 +657,9 @@ mod tests {
         // banks >= 4 must beat the 2-bank fabric by a clear margin on
         // the bank-parallel bfs trace, and 8 banks must not regress.
         let trace = E2eTrace::record("bfs", 20_000, 60_000);
-        let two = run_e2e_point(&trace, 8, 4, 2, 32);
-        let four = run_e2e_point(&trace, 8, 4, 4, 32);
-        let eight = run_e2e_point(&trace, 8, 4, 8, 32);
+        let two = e2e_point(&trace, 8, 4, 2, 32);
+        let four = e2e_point(&trace, 8, 4, 4, 32);
+        let eight = e2e_point(&trace, 8, 4, 8, 32);
         assert_eq!(two.instructions, four.instructions);
         assert!(
             four.cycles * 100 <= two.cycles * 95,
@@ -524,8 +684,8 @@ mod tests {
         // count buys almost nothing, and conflicts stay a large share
         // of all row outcomes.
         let trace = E2eTrace::record("rstride", 20_000, 60_000);
-        let two = run_e2e_point(&trace, 8, 4, 2, 32);
-        let eight = run_e2e_point(&trace, 8, 4, 8, 32);
+        let two = e2e_point(&trace, 8, 4, 2, 32);
+        let eight = e2e_point(&trace, 8, 4, 8, 32);
         let gain = two.cycles as f64 / eight.cycles as f64;
         assert!(
             gain < 1.05,
@@ -540,7 +700,7 @@ mod tests {
         // And the flat (banks = 1) idealisation is not slower than the
         // banked fabric on this trace: there is no locality to win
         // back the precharge/activate cost.
-        let flat = run_e2e_point(&trace, 8, 4, 1, 32);
+        let flat = e2e_point(&trace, 8, 4, 1, 32);
         assert!(
             flat.cycles <= eight.cycles + eight.cycles / 20,
             "flat {} vs banked {}",
@@ -553,11 +713,89 @@ mod tests {
     fn bank_table_prints_both_traces() {
         let bfs = E2eTrace::record("bfs", 5_000, 20_000);
         let rstride = E2eTrace::record("rstride", 5_000, 20_000);
-        let t = bank_table(&[&bfs, &rstride], &[1, 4], 4);
+        let t = bank_table(&[&bfs, &rstride], &[1, 4], 4, DrainOrder::Fifo, PagePolicy::Open);
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.col_count(), 3);
         let text = t.render_text();
         assert!(text.contains("rstride"), "{text}");
         assert!(text.contains("row hits"), "{text}");
     }
+
+    #[test]
+    fn row_first_drain_strictly_increases_bfs_row_hits_and_cpi() {
+        // The tentpole acceptance: on the recorded bfs trace through
+        // the deep banked machine, FR-FCFS drain ordering must convert
+        // conflicts into row hits (strictly more hits, identical
+        // hit + conflict total — reordering never changes what is
+        // accessed) and the CPI must improve, not just move.
+        let trace = E2eTrace::record("bfs", 20_000, 60_000);
+        for banks in [4usize, 8] {
+            let fifo = run_e2e_point(&trace, 8, 4, banks, 32, DrainOrder::Fifo, PagePolicy::Open);
+            let rowf =
+                run_e2e_point(&trace, 8, 4, banks, 32, DrainOrder::RowFirst, PagePolicy::Open);
+            assert_eq!(fifo.instructions, rowf.instructions);
+            assert!(
+                rowf.row_hits > fifo.row_hits,
+                "{banks} banks: row-first hits {} vs fifo {}",
+                rowf.row_hits,
+                fifo.row_hits
+            );
+            assert_eq!(
+                rowf.row_hits + rowf.row_conflicts,
+                fifo.row_hits + fifo.row_conflicts,
+                "{banks} banks: reordering changed the row-outcome total"
+            );
+            assert!(
+                rowf.cycles < fifo.cycles,
+                "{banks} banks: row-first CPI {:.3} did not beat fifo {:.3}",
+                rowf.cpi(),
+                fifo.cpi()
+            );
+        }
+    }
+
+    #[test]
+    fn closed_page_never_hits_and_helps_the_conflict_bound_walk() {
+        // The page-policy acceptance. Auto-precharge abolishes row hits
+        // everywhere by construction; on the rstride walk the only
+        // open-page hits were each miss's paired sequence-fetch +
+        // line-fetch reopening its own row, so trading them for
+        // uniformly cheaper activates must not lose end to end — and
+        // does in fact win, because the dearer conflict path sat on the
+        // serial chain's critical path.
+        let rstride = E2eTrace::record("rstride", 20_000, 60_000);
+        let open = run_e2e_point(&rstride, 8, 4, 8, 32, DrainOrder::Fifo, PagePolicy::Open);
+        let closed = run_e2e_point(&rstride, 8, 4, 8, 32, DrainOrder::Fifo, PagePolicy::Closed);
+        assert_eq!(closed.row_hits, 0, "closed-page run reported a row hit");
+        assert!(closed.row_conflicts > 0);
+        assert_eq!(
+            closed.row_conflicts,
+            open.row_hits + open.row_conflicts,
+            "page policy changed what was accessed, not just how"
+        );
+        assert!(
+            closed.cycles < open.cycles,
+            "closed-page should help rstride: {} vs {}",
+            closed.cycles,
+            open.cycles
+        );
+        // The invariant holds on a hit-rich trace too.
+        let bfs = E2eTrace::record("bfs", 20_000, 60_000);
+        let bfs_closed = run_e2e_point(&bfs, 8, 4, 8, 32, DrainOrder::Fifo, PagePolicy::Closed);
+        assert_eq!(bfs_closed.row_hits, 0);
+    }
+
+    #[test]
+    fn order_delta_table_reports_both_orders() {
+        let bfs = E2eTrace::record("bfs", 5_000, 20_000);
+        let t = order_delta_table(&[&bfs], &[4], 4, PagePolicy::Open);
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.col_count(), 2);
+        let text = t.render_text();
+        assert!(text.contains("row-first"), "{text}");
+        assert!(text.contains("CPI"), "{text}");
+        assert!(text.contains("hits"), "{text}");
+    }
 }
+
+

@@ -1,0 +1,62 @@
+//! CLI-level tests of the `repro` binary's argument validation: bad
+//! axes and policies must fail fast with a usage error (exit code 2)
+//! before any simulation starts, and `--help` must advertise the
+//! scheduling flags.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn banks_must_divide_the_row() {
+    // ROW_LINES = 16: a 3-bank fabric would silently compare unequal
+    // bank populations in the row-hit tables; the CLI rejects it.
+    for bad in ["3", "5", "1,4,6", "32"] {
+        let out = repro(&["--mlp", "--smoke", "--banks", bad]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--banks {bad} should be a usage error"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("divide"),
+            "--banks {bad}: unexpected message {stderr:?}"
+        );
+        // Fails before any table is simulated or printed.
+        assert!(out.stdout.is_empty(), "--banks {bad} printed output");
+    }
+}
+
+#[test]
+fn zero_and_garbage_axes_are_rejected() {
+    for (flag, value) in [("--banks", "0"), ("--banks", "x"), ("--channels", "0")] {
+        let out = repro(&["--mlp", flag, value]);
+        assert_eq!(out.status.code(), Some(2), "{flag} {value}");
+    }
+}
+
+#[test]
+fn order_and_page_accept_only_known_policies() {
+    for (flag, bad) in [("--order", "lifo"), ("--page", "ajar")] {
+        let out = repro(&["--mlp", flag, bad]);
+        assert_eq!(out.status.code(), Some(2), "{flag} {bad}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("expects"), "{flag} {bad}: {stderr:?}");
+    }
+}
+
+#[test]
+fn help_documents_the_scheduling_flags() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--order", "row-first", "--page", "closed", "--banks"] {
+        assert!(stdout.contains(needle), "help lacks {needle}: {stdout}");
+    }
+}

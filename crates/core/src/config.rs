@@ -215,6 +215,25 @@ pub struct SecureBackendConfig {
     /// Latency of a banked access that must precharge the open row and
     /// activate its own first. Ignored at `mem_banks = 1`.
     pub row_conflict_cycles: u64,
+    /// Latency of every banked access under the closed-page policy
+    /// (activate + column access against an auto-precharged bank).
+    /// Ignored at `mem_banks = 1` or under the open-page policy.
+    pub row_closed_cycles: u64,
+    /// Whether banks leave rows open behind accesses (`Open`, the
+    /// default — row hits possible, conflicts pay a precharge) or
+    /// auto-precharge after every access (`Closed` — no hits, but
+    /// every access costs the cheaper `row_closed_cycles`). Ignored at
+    /// `mem_banks = 1`.
+    pub page_policy: padlock_mem::PagePolicy,
+    /// The order the drain scheduler issues a window's phase-one
+    /// memory accesses in. `Fifo` (the default) is the paper's strict
+    /// arrival order; `RowFirst` reorders FR-FCFS style so
+    /// same-`(channel, bank, row)` misses issue back-to-back and
+    /// row-mates become open-row hits. Classification, SNC probes, and
+    /// retirement stay in arrival order either way, so traffic and
+    /// event counters are order-invariant — only completion cycles
+    /// move.
+    pub drain_order: padlock_mem::DrainOrder,
     /// Write-buffer entries (per channel).
     pub write_buffer_entries: usize,
     /// Whether reads of lines never written back bypass the SNC
@@ -254,6 +273,9 @@ impl SecureBackendConfig {
             mem_banks: 1,
             row_hit_cycles: padlock_mem::DEFAULT_ROW_HIT_CYCLES,
             row_conflict_cycles: padlock_mem::DEFAULT_ROW_CONFLICT_CYCLES,
+            row_closed_cycles: padlock_mem::DEFAULT_ROW_CLOSED_CYCLES,
+            page_policy: padlock_mem::PagePolicy::Open,
+            drain_order: padlock_mem::DrainOrder::Fifo,
             write_buffer_entries: 8,
             clean_lines_bypass: true,
             seed_scheme: SeedScheme::PaperAdditive,
@@ -303,10 +325,27 @@ impl SecureBackendConfig {
     }
 
     /// Builder: set the row-buffer hit and conflict latencies used when
-    /// `mem_banks > 1`.
+    /// `mem_banks > 1`. The closed-page latency is clamped into the new
+    /// `[hit, conflict]` band, mirroring
+    /// [`padlock_mem::BankConfig::with_row_cycles`].
     pub fn with_row_cycles(mut self, hit: u64, conflict: u64) -> Self {
         self.row_hit_cycles = hit;
         self.row_conflict_cycles = conflict;
+        if hit <= conflict {
+            self.row_closed_cycles = self.row_closed_cycles.clamp(hit, conflict);
+        }
+        self
+    }
+
+    /// Builder: set the bank page policy used when `mem_banks > 1`.
+    pub fn with_page_policy(mut self, policy: padlock_mem::PagePolicy) -> Self {
+        self.page_policy = policy;
+        self
+    }
+
+    /// Builder: set the drain scheduler's issue order.
+    pub fn with_drain_order(mut self, order: padlock_mem::DrainOrder) -> Self {
+        self.drain_order = order;
         self
     }
 
@@ -318,6 +357,8 @@ impl SecureBackendConfig {
             banks: self.mem_banks,
             row_hit_cycles: self.row_hit_cycles,
             row_conflict_cycles: self.row_conflict_cycles,
+            row_closed_cycles: self.row_closed_cycles,
+            page_policy: self.page_policy,
             row_bytes: u64::from(self.line_bytes) * padlock_mem::ROW_LINES,
         }
     }
@@ -419,5 +460,24 @@ mod tests {
         assert_eq!(banks.row_conflict_cycles, 150);
         // 16 x 128B lines per row.
         assert_eq!(banks.row_bytes, 2048);
+    }
+
+    #[test]
+    fn scheduler_knobs_default_to_the_paper_machine() {
+        use padlock_mem::{DrainOrder, PagePolicy};
+        let cfg = SecureBackendConfig::paper(SecurityMode::otp_lru_64k());
+        assert_eq!(cfg.drain_order, DrainOrder::Fifo);
+        assert_eq!(cfg.page_policy, PagePolicy::Open);
+        assert_eq!(cfg.row_closed_cycles, padlock_mem::DEFAULT_ROW_CLOSED_CYCLES);
+        let cfg = cfg
+            .with_drain_order(DrainOrder::RowFirst)
+            .with_page_policy(PagePolicy::Closed)
+            .with_mem_banks(4);
+        assert_eq!(cfg.drain_order, DrainOrder::RowFirst);
+        assert_eq!(cfg.bank_config().page_policy, PagePolicy::Closed);
+        // Tightening the band drags the closed latency along.
+        let tight = cfg.with_row_cycles(10, 20);
+        assert_eq!(tight.row_closed_cycles, 20);
+        assert_eq!(tight.bank_config().row_closed_cycles, 20);
     }
 }

@@ -34,10 +34,31 @@
 //!
 //! 1. **classify + first issue** — probe the (sharded) SNC, pick the
 //!    path (fast / sequence-fetch / direct), and issue the first memory
-//!    access; same-line reads merge into the earlier miss;
+//!    access; same-line reads merge into the earlier miss, and a read
+//!    of a line the window already wrote back forwards straight from
+//!    the write buffer instead of re-fetching ciphertext the
+//!    controller just produced;
 //! 2. **decrypt** — sequence-number decryptions claim crypto slots;
 //! 3. **fill + pad** — overlapped line fetches issue, pads batch
 //!    through the crypto timeline, evicted sequence numbers spill.
+//!
+//! # Drain order
+//!
+//! Phase one's memory accesses issue in arrival order under
+//! [`DrainOrder::Fifo`] (the paper's controller, and the default). Under
+//! [`DrainOrder::RowFirst`] the scheduler defers them until the window
+//! is classified, then issues them in the fabric's FR-FCFS order
+//! ([`padlock_mem::ChannelSet::row_first_order`]: first-ready,
+//! row-hit-first, oldest-first against the live per-bank open-row
+//! state) — so a window whose misses are row-mates opens each row once
+//! and streams the rest as row hits instead of paying a
+//! precharge + activate per miss. Everything order-sensitive to
+//! *state* — SNC probes and installs, merge detection, writeback
+//! processing, retirement — still runs in arrival order, which is why
+//! reordering moves only completion cycles: traffic, controller, and
+//! SNC counters are bit-identical between the two orders (the
+//! `drain_order_properties` suite proves it), and on a flat
+//! (`mem_banks = 1`) fabric `RowFirst` collapses to `Fifo` exactly.
 //!
 //! Blocking callers (`line_read`, `line_writeback`) enqueue one
 //! transaction and drain immediately; `line_read_batch` keeps up to
@@ -61,7 +82,7 @@ use crate::engine::{CryptoTimeline, MemTxn, SncPorts, TxnOp};
 use crate::snc::SncLookup;
 use crate::snc_shards::SncShards;
 use padlock_cpu::{LineKind, MemoryBackend};
-use padlock_mem::{ChannelSet, TrafficClass};
+use padlock_mem::{ChannelSet, DrainOrder, PagePolicy, TrafficClass};
 use padlock_stats::CounterSet;
 use std::collections::{HashSet, VecDeque};
 
@@ -116,6 +137,10 @@ enum Path {
     Direct,
     /// Same-line merge with an earlier read in the window.
     Alias(usize),
+    /// Forwarded from a same-window posted writeback to the same line:
+    /// the data is still on chip in the write buffer, so the read never
+    /// touches memory or the crypto unit.
+    WbForward,
     /// A writeback, fully processed (posted) in phase one.
     Posted,
 }
@@ -125,6 +150,11 @@ enum Path {
 struct Slot {
     txn: MemTxn,
     path: Path,
+    /// Phase-one memory access not yet issued: its ready cycle and
+    /// traffic class. Only used under `DrainOrder::RowFirst`, where the
+    /// scheduler defers fabric issue until the whole window is
+    /// classified so row-mates can be grouped.
+    fetch: Option<(u64, TrafficClass)>,
     /// Completion of the phase-one memory access (line fetch for
     /// `Fast`/`Direct`/`Plain`, sequence fetch for `SeqFetch`).
     fetched: u64,
@@ -133,6 +163,21 @@ struct Slot {
     crypto_done: u64,
     /// Retire cycle (reads only).
     done: u64,
+}
+
+impl Slot {
+    /// A slot with no scheduled work yet (writebacks, merges, and
+    /// forwards never get any).
+    fn inert(txn: MemTxn, path: Path) -> Self {
+        Self {
+            txn,
+            path,
+            fetch: None,
+            fetched: 0,
+            crypto_done: 0,
+            done: 0,
+        }
+    }
 }
 
 impl SecureBackend {
@@ -344,35 +389,59 @@ impl SecureBackend {
         entries.len()
     }
 
+    /// Issues slot's phase-one memory access at `at` — or, when the
+    /// drain order defers fabric issue, records it for the row-first
+    /// pass to issue once the whole window is classified.
+    fn issue_or_defer(
+        channels: &mut ChannelSet,
+        slot: &mut Slot,
+        defer: bool,
+        at: u64,
+        class: TrafficClass,
+        bytes: u32,
+    ) {
+        if defer {
+            slot.fetch = Some((at, class));
+        } else {
+            slot.fetched = channels.demand_read(at, slot.txn.line_addr, class, bytes);
+        }
+    }
+
     /// Phase one of a drain: classify one read, probe the SNC through
-    /// its shard port, and issue the first memory access.
+    /// its shard port, and issue (or, under `RowFirst`, schedule) the
+    /// first memory access.
     fn classify_read(
         &mut self,
         txn: &MemTxn,
         kind: LineKind,
         crypto: &mut CryptoTimeline,
         ports: &mut SncPorts,
+        defer: bool,
     ) -> Slot {
         let bytes = self.config.line_bytes;
-        let mut slot = Slot {
-            txn: *txn,
-            path: Path::Plain,
-            fetched: 0,
-            crypto_done: 0,
-            done: 0,
-        };
+        let mut slot = Slot::inert(*txn, Path::Plain);
         match self.config.mode {
             SecurityMode::Insecure => {
-                slot.fetched =
-                    self.channels
-                        .demand_read(txn.arrival, txn.line_addr, TrafficClass::LineRead, bytes);
+                Self::issue_or_defer(
+                    &mut self.channels,
+                    &mut slot,
+                    defer,
+                    txn.arrival,
+                    TrafficClass::LineRead,
+                    bytes,
+                );
             }
             SecurityMode::Xom => {
                 self.stats.incr("xom_reads");
                 slot.path = Path::Direct;
-                slot.fetched =
-                    self.channels
-                        .demand_read(txn.arrival, txn.line_addr, TrafficClass::LineRead, bytes);
+                Self::issue_or_defer(
+                    &mut self.channels,
+                    &mut slot,
+                    defer,
+                    txn.arrival,
+                    TrafficClass::LineRead,
+                    bytes,
+                );
             }
             SecurityMode::Otp { snc: snc_cfg } => {
                 // Instructions are only ever read: their seed is the
@@ -392,9 +461,11 @@ impl SecureBackend {
                 if fast {
                     self.stats.incr("otp_fast_reads");
                     slot.path = Path::Fast;
-                    slot.fetched = self.channels.demand_read(
+                    Self::issue_or_defer(
+                        &mut self.channels,
+                        &mut slot,
+                        defer,
                         txn.arrival,
-                        txn.line_addr,
                         TrafficClass::LineRead,
                         bytes,
                     );
@@ -407,9 +478,11 @@ impl SecureBackend {
                     SncLookup::Hit(_) => {
                         self.stats.incr("otp_fast_reads");
                         slot.path = Path::Fast;
-                        slot.fetched = self.channels.demand_read(
+                        Self::issue_or_defer(
+                            &mut self.channels,
+                            &mut slot,
+                            defer,
                             lookup_at,
-                            txn.line_addr,
                             TrafficClass::LineRead,
                             bytes,
                         );
@@ -421,9 +494,11 @@ impl SecureBackend {
                         SncPolicy::NoReplacement => {
                             self.stats.incr("xom_reads");
                             slot.path = Path::Direct;
-                            slot.fetched = self.channels.demand_read(
+                            Self::issue_or_defer(
+                                &mut self.channels,
+                                &mut slot,
+                                defer,
                                 lookup_at,
-                                txn.line_addr,
                                 TrafficClass::LineRead,
                                 bytes,
                             );
@@ -434,9 +509,11 @@ impl SecureBackend {
                         SncPolicy::Lru => {
                             self.stats.incr("snc_fetch_reads");
                             slot.path = Path::SeqFetch;
-                            slot.fetched = self.channels.demand_read(
+                            Self::issue_or_defer(
+                                &mut self.channels,
+                                &mut slot,
+                                defer,
                                 lookup_at,
-                                txn.line_addr,
                                 TrafficClass::SeqRead,
                                 bytes,
                             );
@@ -460,46 +537,68 @@ impl SecureBackend {
             self.config.crypto_pipeline_width,
         );
         let mut ports = SncPorts::new(self.config.snc_shards, self.config.snc_port_cycles);
+        let defer = self.config.drain_order == DrainOrder::RowFirst;
         let mut slots: Vec<Slot> = Vec::with_capacity(window.len());
 
-        // Phase one: classify in arrival order, issue first accesses,
-        // and fully process posted writebacks.
+        // Phase one: classify in arrival order, issue (Fifo) or
+        // schedule (RowFirst) first accesses, and fully process posted
+        // writebacks.
         for txn in window {
             let slot = match txn.op {
                 TxnOp::Writeback => {
                     self.process_writeback(txn.arrival, txn.line_addr);
-                    Slot {
-                        txn,
-                        path: Path::Posted,
-                        fetched: 0,
-                        crypto_done: 0,
-                        done: 0,
-                    }
+                    Slot::inert(txn, Path::Posted)
                 }
                 TxnOp::Read(kind) => {
-                    // A second miss to a line already in flight merges
-                    // into the earlier MSHR entry.
-                    let primary = slots.iter().position(|s| {
+                    // The newest same-line slot that owns data: a
+                    // primary read miss (later misses merge into its
+                    // MSHR entry) or a posted writeback (the line is
+                    // still on chip in the write buffer — forward it
+                    // instead of re-fetching ciphertext this window
+                    // just encrypted).
+                    let prev = slots.iter().rposition(|s| {
                         s.txn.line_addr == txn.line_addr
-                            && matches!(s.txn.op, TxnOp::Read(_))
-                            && !matches!(s.path, Path::Alias(_))
+                            && !matches!(s.path, Path::Alias(_) | Path::WbForward)
                     });
-                    match primary {
+                    match prev {
+                        Some(p) if matches!(slots[p].txn.op, TxnOp::Writeback) => {
+                            self.stats.incr("wb_forwarded_reads");
+                            Slot::inert(txn, Path::WbForward)
+                        }
                         Some(p) => {
                             self.stats.incr("mshr_merged_reads");
-                            Slot {
-                                txn,
-                                path: Path::Alias(p),
-                                fetched: 0,
-                                crypto_done: 0,
-                                done: 0,
-                            }
+                            Slot::inert(txn, Path::Alias(p))
                         }
-                        None => self.classify_read(&txn, kind, &mut crypto, &mut ports),
+                        None => self.classify_read(&txn, kind, &mut crypto, &mut ports, defer),
                     }
                 }
             };
             slots.push(slot);
+        }
+
+        // Row-first issue pass: release the deferred phase-one accesses
+        // in the fabric's FR-FCFS order — first-ready, row-hit-first,
+        // oldest-first against the live bank state — so row-mates
+        // stream out of one activate without idling a bank behind a
+        // not-yet-ready request.
+        if defer {
+            let pending: Vec<usize> = (0..slots.len())
+                .filter(|&i| slots[i].fetch.is_some())
+                .collect();
+            let reqs: Vec<(u64, u64)> = pending
+                .iter()
+                .map(|&i| {
+                    let (at, _) = slots[i].fetch.expect("pending slot has a fetch");
+                    (at, slots[i].txn.line_addr)
+                })
+                .collect();
+            for k in self.channels.row_first_order(&reqs) {
+                let slot = &mut slots[pending[k]];
+                let (at, class) = slot.fetch.take().expect("pending slot has a fetch");
+                slot.fetched =
+                    self.channels
+                        .demand_read(at, slot.txn.line_addr, class, self.config.line_bytes);
+            }
         }
 
         // Phase two: sequence-number decrypts claim crypto slots.
@@ -520,6 +619,11 @@ impl SecureBackend {
                 Path::Fast => fetched.max(crypto_done) + 1,
                 Path::Direct => crypto.issue_block(fetched),
                 Path::Alias(p) => slots[p].done,
+                // The write buffer still holds the line this window
+                // wrote back: one cycle to forward it, no memory or
+                // crypto work (the controller had the plaintext before
+                // it enciphered the writeback).
+                Path::WbForward => slots[i].txn.arrival + 1,
                 Path::SeqFetch => {
                     let seq_ready = crypto_done;
                     let line_fetched = self.channels.demand_read(
@@ -686,6 +790,12 @@ impl MemoryBackend for SecureBackend {
         }
         if self.config.mem_banks > 1 {
             label.push_str(&format!(" x{}bk", self.config.mem_banks));
+            if self.config.page_policy == PagePolicy::Closed {
+                label.push_str("-cp");
+            }
+        }
+        if self.config.drain_order == DrainOrder::RowFirst {
+            label.push_str(" frfcfs");
         }
         if self.config.max_inflight > 1 {
             label.push_str(&format!(" mlp{}", self.config.max_inflight));
@@ -1008,6 +1118,119 @@ mod tests {
         assert_eq!(b.controller_stats().get("mshr_merged_reads"), 1);
         // Only two lines actually fetched.
         assert_eq!(b.traffic().get("line_reads"), 2);
+    }
+
+    #[test]
+    fn same_window_writeback_then_read_forwards_from_the_write_buffer() {
+        // Regression for the same-window aliasing gap: the merge scan
+        // used to match only earlier *read* slots, so a read queued
+        // behind a posted writeback to the same line re-fetched (and
+        // re-decrypted) data the controller had just encrypted. The
+        // public entry points drain writebacks immediately today, so
+        // this drives the queue directly — the shape an adaptive
+        // (idle-triggered) drain will produce once writebacks linger.
+        let mut b = SecureBackend::new(otp_cfg(SncPolicy::Lru, 1024));
+        b.queue.push_back(MemTxn::writeback(0, 0x8000));
+        b.queue.push_back(MemTxn::read(10, 0x8000, LineKind::Data));
+        b.queue.push_back(MemTxn::read(20, 0x9000, LineKind::Data));
+        let mut out = Vec::new();
+        b.drain_window(&mut out);
+        // The aliased read forwards in one cycle; the unrelated read
+        // still pays its full fast path.
+        assert_eq!(out, vec![11, 20 + 100 + 1]);
+        assert_eq!(b.controller_stats().get("wb_forwarded_reads"), 1);
+        // No memory traffic for the forwarded line: one line fetch
+        // (0x9000) plus the writeback's own (buffered) line write.
+        assert_eq!(b.traffic().get("line_reads"), 1);
+        // A second read behind the forward also forwards rather than
+        // aliasing the forwarded slot.
+        b.queue.push_back(MemTxn::writeback(1_000, 0xa000));
+        b.queue.push_back(MemTxn::read(1_010, 0xa000, LineKind::Data));
+        b.queue.push_back(MemTxn::read(1_020, 0xa000, LineKind::Data));
+        let mut out = Vec::new();
+        b.drain_window(&mut out);
+        assert_eq!(out, vec![1_011, 1_021]);
+        assert_eq!(b.controller_stats().get("wb_forwarded_reads"), 3);
+        assert_eq!(b.controller_stats().get("mshr_merged_reads"), 0);
+    }
+
+    #[test]
+    fn row_first_converts_same_row_conflicts_into_hits() {
+        use padlock_mem::{
+            DrainOrder, ROW_LINES, DEFAULT_ROW_CONFLICT_CYCLES, DEFAULT_ROW_HIT_CYCLES,
+        };
+        // One channel, two banks: rows 0 and 2 share bank 0. The window
+        // [r0, r2, r0, r2] in arrival order ping-pongs the open row (4
+        // conflicts); row-first groups the row-mates (2 conflicts + 2
+        // hits) and finishes strictly earlier.
+        let row = 128 * ROW_LINES;
+        let reqs: Vec<(u64, LineKind)> = [0, 2 * row, 128, 2 * row + 128]
+            .into_iter()
+            .map(|a| (a, LineKind::Instruction))
+            .collect();
+        let run = |order: DrainOrder| {
+            let mut cfg = plain_cfg(SecurityMode::Insecure)
+                .with_mem_banks(2)
+                .with_max_inflight(8)
+                .with_drain_order(order);
+            cfg.mem_occupancy = 8;
+            let mut b = SecureBackend::new(cfg);
+            let dones = b.line_read_batch(0, &reqs);
+            (dones, b.traffic().get("row_hits"), b.traffic().get("row_conflicts"))
+        };
+        let (fifo, fifo_hits, fifo_conflicts) = run(DrainOrder::Fifo);
+        let (rowf, rowf_hits, rowf_conflicts) = run(DrainOrder::RowFirst);
+        assert_eq!((fifo_hits, fifo_conflicts), (0, 4));
+        assert_eq!((rowf_hits, rowf_conflicts), (2, 2));
+        // Row totals are order-invariant; the makespan improves by the
+        // two converted activates.
+        assert_eq!(fifo_hits + fifo_conflicts, rowf_hits + rowf_conflicts);
+        let fifo_end = fifo.iter().max().copied().unwrap();
+        let rowf_end = rowf.iter().max().copied().unwrap();
+        assert_eq!(
+            fifo_end - rowf_end,
+            2 * (DEFAULT_ROW_CONFLICT_CYCLES - DEFAULT_ROW_HIT_CYCLES)
+        );
+        // Completions still come back in request order: the reordered
+        // window retires against the original arrival sequence.
+        assert_eq!(fifo.len(), rowf.len());
+    }
+
+    #[test]
+    fn row_first_on_a_flat_fabric_is_exactly_fifo() {
+        use padlock_mem::DrainOrder;
+        let reqs: Vec<(u64, LineKind)> = (0..32u64)
+            .map(|i| (0x10_0000 + (i * 37 % 64) * 128, LineKind::Data))
+            .collect();
+        let mut fifo = SecureBackend::new(
+            otp_cfg(SncPolicy::Lru, 4).with_max_inflight(8),
+        );
+        let mut rowf = SecureBackend::new(
+            otp_cfg(SncPolicy::Lru, 4)
+                .with_max_inflight(8)
+                .with_drain_order(DrainOrder::RowFirst),
+        );
+        assert_eq!(
+            fifo.line_read_batch(0, &reqs),
+            rowf.line_read_batch(0, &reqs)
+        );
+    }
+
+    #[test]
+    fn closed_page_never_reports_row_hits_through_the_controller() {
+        use padlock_mem::PagePolicy;
+        let mut cfg = plain_cfg(SecurityMode::Insecure)
+            .with_mem_banks(4)
+            .with_max_inflight(8)
+            .with_page_policy(PagePolicy::Closed);
+        cfg.mem_occupancy = 8;
+        let mut b = SecureBackend::new(cfg);
+        let reqs: Vec<(u64, LineKind)> = (0..16u64)
+            .map(|i| (i * 128, LineKind::Data))
+            .collect();
+        b.line_read_batch(0, &reqs);
+        assert_eq!(b.traffic().get("row_hits"), 0);
+        assert_eq!(b.traffic().get("row_conflicts"), 16);
     }
 
     #[test]

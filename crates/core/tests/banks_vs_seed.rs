@@ -233,6 +233,8 @@ fn bank_knobs_are_inert_on_a_flat_fabric() {
         banks: 1,
         row_hit_cycles: 1,
         row_conflict_cycles: 9_999,
+        row_closed_cycles: 77,
+        page_policy: padlock_mem::PagePolicy::Closed,
         row_bytes: 64,
     };
     for (i, channels) in [1usize, 2, 4].into_iter().enumerate() {

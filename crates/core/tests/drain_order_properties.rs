@@ -1,0 +1,211 @@
+//! Order-invariance properties of the FR-FCFS drain scheduler.
+//!
+//! The load-bearing claim: `RowFirst` reorders only *when* a window's
+//! phase-one memory accesses touch the fabric, never *what* the window
+//! does — it drains a permutation of the same window. So against any
+//! public-API trace, a `RowFirst` controller and a `Fifo` controller
+//! must agree on every count that describes work rather than timing:
+//!
+//! * per-class traffic counters (transactions and bytes), in aggregate
+//!   **and per channel** — the interleave routes by address, which the
+//!   reorder does not change;
+//! * the row-outcome *total* (`row_hits + row_conflicts`) — every
+//!   banked access is still classified exactly once; only the hit /
+//!   conflict split may shift (and that shift is the whole point);
+//! * merge counts and every other controller event counter, and every
+//!   SNC counter — classification, probes, and installs run in arrival
+//!   order under both policies;
+//! * the *number* of retired reads, each completing no earlier than it
+//!   arrived.
+//!
+//! A second property pins the closed-page policy: under
+//! `PagePolicy::Closed` no access is ever a row hit, and every banked
+//! access still reports exactly one row outcome.
+
+use padlock_core::{SecureBackend, SecureBackendConfig, SecurityMode, SncConfig, SncPolicy};
+use padlock_cpu::{LineKind, MemoryBackend};
+use padlock_mem::{DrainOrder, PagePolicy};
+use padlock_stats::CounterSet;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One public-API step: a batched read or an immediate writeback.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(u64, bool), // (line index, instruction?)
+    Write(u64),
+    Flush, // drain the pending batch early
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(Op, u64)>> {
+    proptest::collection::vec(
+        (0u64..400, 0u32..8, 1u64..200).prop_map(|(line, kind, gap)| {
+            let op = match kind {
+                0..=4 => Op::Read(line, kind == 0),
+                5 | 6 => Op::Write(line),
+                _ => Op::Flush,
+            };
+            (op, gap)
+        }),
+        1..250,
+    )
+}
+
+fn counters(set: &CounterSet) -> BTreeMap<String, u64> {
+    set.iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+fn build(
+    mode: SecurityMode,
+    channels: usize,
+    banks: usize,
+    inflight: usize,
+    order: DrainOrder,
+    page: PagePolicy,
+) -> SecureBackend {
+    let cfg = SecureBackendConfig::paper(mode)
+        .with_mem_channels(channels)
+        .with_snc_shards(channels)
+        .with_mem_banks(banks)
+        .with_max_inflight(inflight)
+        .with_drain_order(order)
+        .with_page_policy(page);
+    let mut backend = SecureBackend::new(cfg);
+    backend.pre_age((0..96u64).map(|i| 0x8000 + i * 128), std::iter::empty());
+    backend
+}
+
+/// Replays one op trace; returns the number of retired reads after
+/// checking each completion against its arrival.
+fn replay(backend: &mut SecureBackend, ops: &[(Op, u64)], inflight: usize) -> usize {
+    let mut now = 0u64;
+    let mut batch: Vec<(u64, u64, LineKind)> = Vec::new();
+    let mut retired = 0usize;
+    let drain_batch =
+        |backend: &mut SecureBackend, batch: &mut Vec<(u64, u64, LineKind)>| {
+            let dones = backend.line_read_batch_at(batch);
+            // One completion per request. (A merged read may "complete"
+            // before its own arrival — it shares an earlier fill whose
+            // data was already on chip; that is seed semantics.)
+            assert_eq!(dones.len(), batch.len());
+            let n = batch.len();
+            batch.clear();
+            n
+        };
+    for &(op, gap) in ops {
+        now += gap;
+        match op {
+            Op::Read(line, inst) => {
+                let kind = if inst {
+                    LineKind::Instruction
+                } else {
+                    LineKind::Data
+                };
+                batch.push((now, 0x8000 + line * 128, kind));
+                if batch.len() >= inflight {
+                    retired += drain_batch(backend, &mut batch);
+                }
+            }
+            Op::Write(line) => backend.line_writeback(now, 0x8000 + line * 128),
+            Op::Flush => retired += drain_batch(backend, &mut batch),
+        }
+    }
+    retired += drain_batch(backend, &mut batch);
+    backend.drain(now + 10_000);
+    retired
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `RowFirst` drains a permutation of the FIFO window: every count
+    /// that describes *work* is exact, only timing may differ.
+    #[test]
+    fn row_first_is_a_counter_exact_permutation_of_fifo(
+        ops in ops_strategy(),
+        channels in prop::sample::select(vec![1usize, 2, 4]),
+        banks in prop::sample::select(vec![1usize, 2, 8]),
+        inflight in prop::sample::select(vec![4usize, 8, 16]),
+        lru in prop::sample::select(vec![true, false]),
+    ) {
+        let mode = SecurityMode::Otp {
+            snc: SncConfig::paper_default()
+                .with_capacity(128)
+                .with_policy(if lru { SncPolicy::Lru } else { SncPolicy::NoReplacement }),
+        };
+        let mut fifo = build(mode, channels, banks, inflight, DrainOrder::Fifo, PagePolicy::Open);
+        let mut rowf = build(mode, channels, banks, inflight, DrainOrder::RowFirst, PagePolicy::Open);
+        let retired_fifo = replay(&mut fifo, &ops, inflight);
+        let retired_rowf = replay(&mut rowf, &ops, inflight);
+        prop_assert_eq!(retired_fifo, retired_rowf, "read multiset changed size");
+
+        // Aggregate traffic: identical per class, in counts and bytes.
+        let tf = counters(&fifo.traffic());
+        let tr = counters(&rowf.traffic());
+        for key in tf.keys() {
+            if key == "row_hits" || key == "row_conflicts" {
+                continue; // the split is the one thing allowed to move
+            }
+            prop_assert_eq!(tf[key], tr[key], "traffic {} diverged", key);
+        }
+        // The row-outcome total is conserved even as the split shifts.
+        prop_assert_eq!(
+            tf.get("row_hits").unwrap_or(&0) + tf.get("row_conflicts").unwrap_or(&0),
+            tr.get("row_hits").unwrap_or(&0) + tr.get("row_conflicts").unwrap_or(&0),
+            "row-outcome total changed"
+        );
+        // Per-channel byte counters: the reorder never re-routes.
+        for (ch, (a, b)) in fifo
+            .channels()
+            .channels()
+            .iter()
+            .zip(rowf.channels().channels().iter())
+            .enumerate()
+        {
+            let ca = counters(a.mem().stats());
+            let cb = counters(b.mem().stats());
+            for key in ca.keys() {
+                if key == "row_hits" || key == "row_conflicts" {
+                    continue;
+                }
+                prop_assert_eq!(ca[key], cb[key], "channel {} {} diverged", ch, key);
+            }
+        }
+
+        // Controller events (incl. mshr_merged_reads) and SNC counters:
+        // classification runs in arrival order under both.
+        prop_assert_eq!(
+            counters(fifo.controller_stats()),
+            counters(rowf.controller_stats()),
+            "controller counters diverged"
+        );
+        prop_assert_eq!(
+            counters(&fifo.snc().unwrap().stats()),
+            counters(&rowf.snc().unwrap().stats()),
+            "snc counters diverged"
+        );
+    }
+
+    /// Closed-page banks never report a row hit, and still classify
+    /// every access as exactly one row outcome.
+    #[test]
+    fn closed_page_never_reports_a_row_hit(
+        ops in ops_strategy(),
+        channels in prop::sample::select(vec![1usize, 2]),
+        banks in prop::sample::select(vec![2usize, 4, 8]),
+        order in prop::sample::select(vec![DrainOrder::Fifo, DrainOrder::RowFirst]),
+    ) {
+        let mode = SecurityMode::Otp {
+            snc: SncConfig::paper_default().with_capacity(128),
+        };
+        let mut b = build(mode, channels, banks, 8, order, PagePolicy::Closed);
+        replay(&mut b, &ops, 8);
+        let t = counters(&b.traffic());
+        prop_assert_eq!(*t.get("row_hits").unwrap_or(&0), 0, "closed-page row hit");
+        prop_assert_eq!(
+            *t.get("row_conflicts").unwrap_or(&0),
+            t["transactions"],
+            "not every access classified"
+        );
+    }
+}

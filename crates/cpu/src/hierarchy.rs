@@ -503,6 +503,7 @@ pub struct InsecureBackend {
     occupancy: u64,
     num_channels: usize,
     bank_config: padlock_mem::BankConfig,
+    drain_order: padlock_mem::DrainOrder,
 }
 
 impl InsecureBackend {
@@ -516,6 +517,7 @@ impl InsecureBackend {
             occupancy,
             num_channels: 1,
             bank_config: padlock_mem::BankConfig::flat(),
+            drain_order: padlock_mem::DrainOrder::Fifo,
         }
     }
 
@@ -549,10 +551,56 @@ impl InsecureBackend {
     /// Adds `n` DRAM banks with row-buffer timing beneath every channel
     /// (`1` restores the flat uniform-latency model), so the baseline
     /// machine sees the same memory device physics as the secure ones.
+    /// The page policy set by [`InsecureBackend::with_page_policy`]
+    /// survives.
     pub fn with_banks(mut self, n: usize) -> Self {
-        self.bank_config = padlock_mem::BankConfig::banked(n, self.line_bytes);
+        let policy = self.bank_config.page_policy;
+        self.bank_config =
+            padlock_mem::BankConfig::banked(n, self.line_bytes).with_page_policy(policy);
         self.rebuild();
         self
+    }
+
+    /// Sets the bank page policy (open rows vs auto-precharge), so the
+    /// baseline machine can be swept along the same `--page` axis as
+    /// the secure ones.
+    pub fn with_page_policy(mut self, policy: padlock_mem::PagePolicy) -> Self {
+        self.bank_config.page_policy = policy;
+        self.rebuild();
+        self
+    }
+
+    /// Sets the batch drain order: `RowFirst` issues a batch's reads
+    /// grouped by `(channel, bank, row)` (FR-FCFS style) while still
+    /// returning completions in request order; `Fifo` (the default)
+    /// issues in request order, the seed behaviour.
+    pub fn with_drain_order(mut self, order: padlock_mem::DrainOrder) -> Self {
+        self.drain_order = order;
+        self
+    }
+
+    /// Issues a batch of reads in the configured drain order, returning
+    /// completion cycles in request order.
+    fn issue_batch(&mut self, reqs: &[(u64, u64)]) -> Vec<u64> {
+        match self.drain_order {
+            padlock_mem::DrainOrder::Fifo => reqs
+                .iter()
+                .map(|&(at, addr)| {
+                    self.channels
+                        .demand_read(at, addr, TrafficClass::LineRead, self.line_bytes)
+                })
+                .collect(),
+            padlock_mem::DrainOrder::RowFirst => {
+                let mut out = vec![0u64; reqs.len()];
+                for i in self.channels.row_first_order(reqs) {
+                    let (at, addr) = reqs[i];
+                    out[i] = self
+                        .channels
+                        .demand_read(at, addr, TrafficClass::LineRead, self.line_bytes);
+                }
+                out
+            }
+        }
     }
 }
 
@@ -563,23 +611,15 @@ impl MemoryBackend for InsecureBackend {
     }
 
     fn line_read_batch(&mut self, now: u64, reqs: &[(u64, LineKind)]) -> Vec<u64> {
-        // No per-line state below L2: a batch claims consecutive
-        // occupancy slots on each line's own channel.
-        reqs.iter()
-            .map(|&(line_addr, _)| {
-                self.channels
-                    .demand_read(now, line_addr, TrafficClass::LineRead, self.line_bytes)
-            })
-            .collect()
+        // No per-line state below L2: a batch claims occupancy slots on
+        // each line's own channel, in the configured drain order.
+        let reqs: Vec<(u64, u64)> = reqs.iter().map(|&(addr, _)| (now, addr)).collect();
+        self.issue_batch(&reqs)
     }
 
     fn line_read_batch_at(&mut self, reqs: &[(u64, u64, LineKind)]) -> Vec<u64> {
-        reqs.iter()
-            .map(|&(at, line_addr, _)| {
-                self.channels
-                    .demand_read(at, line_addr, TrafficClass::LineRead, self.line_bytes)
-            })
-            .collect()
+        let reqs: Vec<(u64, u64)> = reqs.iter().map(|&(at, addr, _)| (at, addr)).collect();
+        self.issue_batch(&reqs)
     }
 
     fn line_writeback(&mut self, now: u64, line_addr: u64) {
@@ -607,6 +647,12 @@ impl MemoryBackend for InsecureBackend {
         }
         if self.bank_config.banks > 1 {
             label.push_str(&format!(" x{}bk", self.bank_config.banks));
+            if self.bank_config.page_policy == padlock_mem::PagePolicy::Closed {
+                label.push_str("-cp");
+            }
+        }
+        if self.drain_order == padlock_mem::DrainOrder::RowFirst {
+            label.push_str(" frfcfs");
         }
         label
     }
@@ -730,6 +776,60 @@ mod tests {
         assert_eq!(h.l1d_stats().get("misses"), 0);
         assert_eq!(h.backend().traffic().get("line_reads"), 0);
         assert_eq!(h.data_access(500, 0x4000, false), 501); // still cached
+    }
+
+    #[test]
+    fn insecure_row_first_batches_group_row_mates() {
+        use padlock_mem::{
+            DrainOrder, ROW_LINES, DEFAULT_ROW_CONFLICT_CYCLES, DEFAULT_ROW_HIT_CYCLES,
+        };
+        let row = 128 * ROW_LINES;
+        // One channel, two banks: rows 0 and 2 share bank 0, and the
+        // arrival order ping-pongs between them.
+        let reqs: Vec<(u64, LineKind)> = [0, 2 * row, 128, 2 * row + 128]
+            .into_iter()
+            .map(|a| (a, LineKind::Data))
+            .collect();
+        let mut fifo = InsecureBackend::new(100, 8).with_banks(2);
+        let mut rowf = InsecureBackend::new(100, 8)
+            .with_banks(2)
+            .with_drain_order(DrainOrder::RowFirst);
+        assert_eq!(rowf.label(), "baseline x2bk frfcfs");
+        let f = fifo.line_read_batch(0, &reqs);
+        let r = rowf.line_read_batch(0, &reqs);
+        assert_eq!(fifo.traffic().get("row_hits"), 0);
+        assert_eq!(rowf.traffic().get("row_hits"), 2);
+        assert_eq!(
+            f.iter().max().unwrap() - r.iter().max().unwrap(),
+            2 * (DEFAULT_ROW_CONFLICT_CYCLES - DEFAULT_ROW_HIT_CYCLES)
+        );
+        // On a flat fabric the reorder degenerates to request order.
+        let mut flat_fifo = InsecureBackend::new(100, 8).with_channels(2);
+        let mut flat_rowf = InsecureBackend::new(100, 8)
+            .with_channels(2)
+            .with_drain_order(DrainOrder::RowFirst);
+        let reqs: Vec<(u64, LineKind)> = (0..12u64)
+            .map(|i| (i % 5 * 128, LineKind::Data))
+            .collect();
+        assert_eq!(
+            flat_fifo.line_read_batch(0, &reqs),
+            flat_rowf.line_read_batch(0, &reqs)
+        );
+    }
+
+    #[test]
+    fn insecure_closed_page_policy_threads_through() {
+        use padlock_mem::{PagePolicy, DEFAULT_ROW_CLOSED_CYCLES};
+        let mut b = InsecureBackend::new(100, 8)
+            .with_page_policy(PagePolicy::Closed)
+            .with_banks(2);
+        assert_eq!(b.label(), "baseline x2bk-cp");
+        // Same-row repeat: still no hit, flat closed-page latency.
+        b.line_read(0, 0x0, LineKind::Data);
+        let done = b.line_read(1_000, 0x100, LineKind::Data);
+        assert_eq!(done, 1_000 + DEFAULT_ROW_CLOSED_CYCLES);
+        assert_eq!(b.traffic().get("row_hits"), 0);
+        assert_eq!(b.traffic().get("row_conflicts"), 2);
     }
 
     #[test]

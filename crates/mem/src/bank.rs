@@ -65,6 +65,41 @@ pub const DEFAULT_ROW_HIT_CYCLES: u64 = 60;
 /// 100-cycle access the paper averages over.
 pub const DEFAULT_ROW_CONFLICT_CYCLES: u64 = 140;
 
+/// Default closed-page access latency in cycles: activate + column
+/// access against an already-precharged bank. Exactly the paper's flat
+/// 100-cycle access — a closed-page DRAM never tracks row state, which
+/// is the uniform-latency idealisation the paper assumes.
+pub const DEFAULT_ROW_CLOSED_CYCLES: u64 = 100;
+
+/// What a bank does with its row after an access completes.
+///
+/// * `Open` (the default) leaves the row latched in the sense
+///   amplifiers: the next access to the same row is a cheap hit, the
+///   next access to any other row pays precharge + activate.
+/// * `Closed` auto-precharges after every access: no access is ever a
+///   row hit, but none ever waits on a precharge either — every access
+///   costs the flat activate + column latency
+///   ([`BankConfig::row_closed_cycles`]). Random traffic with no
+///   open-row reuse (the `rstride` walk) trades its nonexistent hits
+///   for cheaper conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Leave the accessed row open behind every access.
+    #[default]
+    Open,
+    /// Auto-precharge after every access (the row is never left open).
+    Closed,
+}
+
+impl std::fmt::Display for PagePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagePolicy::Open => write!(f, "open"),
+            PagePolicy::Closed => write!(f, "closed"),
+        }
+    }
+}
+
 /// Configuration of one channel's bank set.
 ///
 /// `banks = 1` means *flat*: the channel keeps the pre-bank model where
@@ -78,6 +113,11 @@ pub struct BankConfig {
     pub row_hit_cycles: u64,
     /// Latency of an access that must precharge + activate first.
     pub row_conflict_cycles: u64,
+    /// Latency of every access under the [`PagePolicy::Closed`] policy
+    /// (activate + column access, the bank having auto-precharged).
+    pub row_closed_cycles: u64,
+    /// Whether rows stay open between accesses or auto-precharge.
+    pub page_policy: PagePolicy,
     /// Bytes per row (normally `line_bytes * ROW_LINES`).
     pub row_bytes: u64,
 }
@@ -89,6 +129,8 @@ impl BankConfig {
             banks: 1,
             row_hit_cycles: DEFAULT_ROW_HIT_CYCLES,
             row_conflict_cycles: DEFAULT_ROW_CONFLICT_CYCLES,
+            row_closed_cycles: DEFAULT_ROW_CLOSED_CYCLES,
+            page_policy: PagePolicy::Open,
             row_bytes: 128 * ROW_LINES,
         }
     }
@@ -100,14 +142,34 @@ impl BankConfig {
             banks,
             row_hit_cycles: DEFAULT_ROW_HIT_CYCLES,
             row_conflict_cycles: DEFAULT_ROW_CONFLICT_CYCLES,
+            row_closed_cycles: DEFAULT_ROW_CLOSED_CYCLES,
+            page_policy: PagePolicy::Open,
             row_bytes: u64::from(line_bytes) * ROW_LINES,
         }
     }
 
-    /// Builder: override the row hit/conflict latencies.
+    /// Builder: override the row hit/conflict latencies. The
+    /// closed-page latency is clamped into the new `[hit, conflict]`
+    /// band (it models a strict subset of the conflict's work and a
+    /// strict superset of the hit's).
     pub fn with_row_cycles(mut self, hit: u64, conflict: u64) -> Self {
         self.row_hit_cycles = hit;
         self.row_conflict_cycles = conflict;
+        if hit <= conflict {
+            self.row_closed_cycles = self.row_closed_cycles.clamp(hit, conflict);
+        }
+        self
+    }
+
+    /// Builder: set the page policy.
+    pub fn with_page_policy(mut self, policy: PagePolicy) -> Self {
+        self.page_policy = policy;
+        self
+    }
+
+    /// Builder: override the closed-page access latency.
+    pub fn with_closed_cycles(mut self, closed: u64) -> Self {
+        self.row_closed_cycles = closed;
         self
     }
 
@@ -156,15 +218,22 @@ impl BankSet {
     ///
     /// # Panics
     ///
-    /// Panics if `banks` or `row_bytes` is zero, or if a row hit is
-    /// configured dearer than a row conflict (a hit is a strict subset
-    /// of the conflict's work).
+    /// Panics if `banks` or `row_bytes` is zero, or if the latencies
+    /// are not ordered `hit <= closed <= conflict` (a hit skips the
+    /// activate a closed-page access pays, which in turn skips the
+    /// precharge a conflict pays — each is a strict subset of the
+    /// next's work).
     pub fn new(config: BankConfig) -> Self {
         assert!(config.banks > 0, "a channel needs at least one bank");
         assert!(config.row_bytes > 0, "row size must be positive");
         assert!(
             config.row_hit_cycles <= config.row_conflict_cycles,
             "a row hit cannot cost more than a conflict"
+        );
+        assert!(
+            config.row_hit_cycles <= config.row_closed_cycles
+                && config.row_closed_cycles <= config.row_conflict_cycles,
+            "closed-page access must cost between a hit and a conflict"
         );
         Self {
             banks: vec![
@@ -203,22 +272,41 @@ impl BankSet {
         self.banks.iter().map(|b| b.busy_until).max().unwrap_or(0)
     }
 
+    /// Cycle until which bank `index` is busy.
+    pub fn bank_busy_until(&self, index: usize) -> u64 {
+        self.banks[index].busy_until
+    }
+
+    /// The row bank `index` currently holds open (`None` when
+    /// precharged — always `None` under [`PagePolicy::Closed`]).
+    pub fn open_row(&self, index: usize) -> Option<u64> {
+        self.banks[index].open_row
+    }
+
     /// Schedules one access wanted at `ready`: waits for the bank,
     /// charges the row-hit or row-conflict latency, and leaves the row
-    /// open behind it.
+    /// open behind it — or, under [`PagePolicy::Closed`], charges the
+    /// flat activate + column latency and auto-precharges, so no access
+    /// is ever a hit and none ever waits on a precharge.
     pub fn access(&mut self, ready: u64, addr: u64) -> BankGrant {
         let row = self.row_of(addr);
         let index = (row % self.banks.len() as u64) as usize;
         let bank = &mut self.banks[index];
         let start = ready.max(bank.busy_until);
-        let hit = bank.open_row == Some(row);
-        let latency = if hit {
-            self.config.row_hit_cycles
-        } else {
-            self.config.row_conflict_cycles
+        let (hit, latency, leave_open) = match self.config.page_policy {
+            PagePolicy::Open => {
+                let hit = bank.open_row == Some(row);
+                let latency = if hit {
+                    self.config.row_hit_cycles
+                } else {
+                    self.config.row_conflict_cycles
+                };
+                (hit, latency, true)
+            }
+            PagePolicy::Closed => (false, self.config.row_closed_cycles, false),
         };
         bank.busy_until = start + latency;
-        bank.open_row = Some(row);
+        bank.open_row = leave_open.then_some(row);
         BankGrant {
             start,
             done: start + latency,
@@ -297,9 +385,48 @@ mod tests {
     }
 
     #[test]
+    fn closed_page_never_hits_and_charges_the_flat_latency() {
+        let mut b = BankSet::new(cfg(2).with_page_policy(PagePolicy::Closed));
+        // Even an immediate same-row repeat is not a hit: the bank
+        // auto-precharged behind the first access.
+        let first = b.access(0, 0);
+        assert!(!first.hit);
+        assert_eq!(first.done - first.start, DEFAULT_ROW_CLOSED_CYCLES);
+        let again = b.access(first.done, 64);
+        assert!(!again.hit);
+        assert_eq!(again.done - again.start, DEFAULT_ROW_CLOSED_CYCLES);
+        // Same-bank serialisation is unchanged by the policy.
+        let queued = b.access(0, 2 * 16 * 128);
+        assert_eq!(queued.bank, 0);
+        assert_eq!(queued.start, again.done);
+    }
+
+    #[test]
+    fn closed_page_beats_open_page_on_row_hopping_traffic() {
+        // A single-bank row-hop stream: open-page pays the conflict
+        // latency every access, closed-page the cheaper flat latency.
+        let mut open = BankSet::new(cfg(1));
+        let mut closed = BankSet::new(cfg(1).with_page_policy(PagePolicy::Closed));
+        let mut open_done = 0;
+        let mut closed_done = 0;
+        for row in 0..8u64 {
+            open_done = open.access(open_done, row * 16 * 128).done;
+            closed_done = closed.access(closed_done, row * 16 * 128).done;
+        }
+        assert_eq!(open_done, 8 * DEFAULT_ROW_CONFLICT_CYCLES);
+        assert_eq!(closed_done, 8 * DEFAULT_ROW_CLOSED_CYCLES);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot cost more")]
     fn hit_dearer_than_conflict_rejected() {
         let _ = BankSet::new(cfg(2).with_row_cycles(100, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "between a hit and a conflict")]
+    fn closed_latency_outside_hit_conflict_band_rejected() {
+        let _ = BankSet::new(cfg(2).with_closed_cycles(150));
     }
 
     #[test]

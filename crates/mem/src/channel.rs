@@ -19,7 +19,7 @@
 //! `row_hit_cycles` or `row_conflict_cycles` against that bank's busy
 //! timeline.
 
-use crate::bank::{BankConfig, BankSet};
+use crate::bank::{BankConfig, BankSet, PagePolicy};
 use crate::timing::{MemTimingModel, TrafficClass};
 use padlock_cache::WriteBuffer;
 use padlock_stats::CounterSet;
@@ -87,12 +87,27 @@ impl MemoryChannel {
     }
 
     /// Latest cycle the channel (bus or any bank) is busy until.
+    ///
+    /// This is the frontier of *issued* work — buffered-but-unflushed
+    /// writebacks have not claimed the bus yet and do not move it. Use
+    /// [`MemoryChannel::is_idle`] for the drain-trigger signal, which
+    /// does count them.
     pub fn busy_until(&self) -> u64 {
         let bus = self.mem.busy_until();
         match &self.banks {
             Some(banks) => bus.max(banks.busy_until()),
             None => bus,
         }
+    }
+
+    /// Whether the channel is quiescent at `now`: the bus and every
+    /// bank have gone idle *and* no writeback sits buffered awaiting a
+    /// drain. A freshly enqueued write makes the channel non-idle even
+    /// though it has not touched the bus — an adaptive drain policy
+    /// keyed on channel idleness must not treat committed-but-unflushed
+    /// work as a free window.
+    pub fn is_idle(&self, now: u64) -> bool {
+        self.busy_until() <= now && self.write_buffer.is_empty()
     }
 
     /// Issues one read against the bus (and, when banked, `addr`'s
@@ -314,16 +329,20 @@ impl ChannelSet {
         ((addr / self.interleave_bytes) % self.channels.len() as u64) as usize
     }
 
-    /// The full `(channel, bank)` coordinate serving `addr`: the line
-    /// interleave picks the channel, the row interleave picks the bank
-    /// within it. With banks disabled the bank coordinate is always 0.
-    pub fn coordinates_of(&self, addr: u64) -> (usize, usize) {
+    /// The full `(channel, bank, row)` coordinate serving `addr`: the
+    /// line interleave picks the channel, the row interleave picks the
+    /// bank within it, and the row index names the bank's row that
+    /// holds the address — the grouping key the FR-FCFS drain
+    /// scheduler ([`ChannelSet::row_first_order`]) keys a window by.
+    /// With banks disabled every address collapses to
+    /// `(channel, 0, 0)`, so row-first ordering degenerates to arrival
+    /// order per channel.
+    pub fn coordinates_of(&self, addr: u64) -> (usize, usize, u64) {
         let channel = self.channel_of(addr);
-        let bank = match self.channels[channel].banks() {
-            Some(banks) => banks.bank_of(addr),
-            None => 0,
-        };
-        (channel, bank)
+        match self.channels[channel].banks() {
+            Some(banks) => (channel, banks.bank_of(addr), banks.row_of(addr)),
+            None => (channel, 0, 0),
+        }
     }
 
     /// The individual channels (diagnostics; per-channel stats).
@@ -332,9 +351,17 @@ impl ChannelSet {
     }
 
     /// Latest cycle any channel (bus or bank) is busy until — the
-    /// makespan frontier of everything issued so far.
+    /// makespan frontier of everything issued so far. Buffered
+    /// writebacks have not issued; see [`ChannelSet::is_idle`].
     pub fn busy_until(&self) -> u64 {
         self.channels.iter().map(|ch| ch.busy_until()).max().unwrap_or(0)
+    }
+
+    /// Whether the whole fabric is quiescent at `now`: every channel's
+    /// bus and banks idle and every write buffer empty. The idle signal
+    /// an adaptive drain policy keys on.
+    pub fn is_idle(&self, now: u64) -> bool {
+        self.channels.iter().all(|ch| ch.is_idle(now))
     }
 
     /// Aggregated traffic statistics summed over every channel.
@@ -351,6 +378,86 @@ impl ChannelSet {
         for ch in &mut self.channels {
             ch.reset_stats();
         }
+    }
+
+    /// Chooses an FR-FCFS issue order for one window of read requests
+    /// `(ready, addr)` against the fabric's *current* bank state:
+    /// repeatedly pick the request that can start earliest, preferring
+    /// an open-row hit over a conflict at equal start, and the oldest
+    /// request at equal start and outcome — the classic
+    /// first-ready / row-hit-first / oldest-first policy, scoped to the
+    /// window. Returns a permutation of `0..reqs.len()`; issuing
+    /// `demand_read`s in that order groups same-row requests
+    /// back-to-back (the second streams out of the row the first
+    /// opened) without ever idling a bank behind a not-yet-ready
+    /// row-mate — the failure mode of a static same-row grouping when
+    /// arrivals are spread.
+    ///
+    /// The choice is made against a scratch copy of the bus and bank
+    /// timelines (buffered writebacks are ignored — they backfill
+    /// behind demand reads anyway), so the fabric is not mutated; on a
+    /// flat fabric there are no rows to group and the identity order is
+    /// returned, keeping `RowFirst` bit-exact with `Fifo` there.
+    pub fn row_first_order(&self, reqs: &[(u64, u64)]) -> Vec<usize> {
+        if self.bank_config.is_flat() {
+            return (0..reqs.len()).collect();
+        }
+        #[derive(Clone, Copy)]
+        struct ScratchBank {
+            open: Option<u64>,
+            busy: u64,
+        }
+        let mut bus: Vec<u64> = Vec::with_capacity(self.channels.len());
+        let mut occ: Vec<u64> = Vec::with_capacity(self.channels.len());
+        let mut banks: Vec<Vec<ScratchBank>> = Vec::with_capacity(self.channels.len());
+        for ch in &self.channels {
+            bus.push(ch.mem().busy_until());
+            occ.push(ch.mem().occupancy());
+            let bs = ch.banks().expect("banked fabric has a bank set");
+            banks.push(
+                (0..bs.num_banks())
+                    .map(|b| ScratchBank {
+                        open: bs.open_row(b),
+                        busy: bs.bank_busy_until(b),
+                    })
+                    .collect(),
+            );
+        }
+        let cfg = self.bank_config;
+        let coords: Vec<(usize, usize, u64)> = reqs
+            .iter()
+            .map(|&(_, addr)| self.coordinates_of(addr))
+            .collect();
+        let mut pending: Vec<usize> = (0..reqs.len()).collect();
+        let mut order = Vec::with_capacity(reqs.len());
+        while !pending.is_empty() {
+            let mut best_pos = 0;
+            let mut best_key = (u64::MAX, true, usize::MAX);
+            for (pos, &i) in pending.iter().enumerate() {
+                let (ch, bk, row) = coords[i];
+                let bank = banks[ch][bk];
+                let start = reqs[i].0.max(bus[ch]).max(bank.busy);
+                let hit = cfg.page_policy == PagePolicy::Open && bank.open == Some(row);
+                let key = (start, !hit, i);
+                if key < best_key {
+                    best_key = key;
+                    best_pos = pos;
+                }
+            }
+            let i = pending.swap_remove(best_pos);
+            let (ch, bk, row) = coords[i];
+            let (start, hit) = (best_key.0, !best_key.1);
+            let latency = match cfg.page_policy {
+                PagePolicy::Open if hit => cfg.row_hit_cycles,
+                PagePolicy::Open => cfg.row_conflict_cycles,
+                PagePolicy::Closed => cfg.row_closed_cycles,
+            };
+            banks[ch][bk].busy = start + latency;
+            banks[ch][bk].open = (cfg.page_policy == PagePolicy::Open).then_some(row);
+            bus[ch] = start + occ[ch];
+            order.push(i);
+        }
+        order
     }
 
     /// Issues a demand read of `addr`'s line on its channel; returns
@@ -615,17 +722,55 @@ mod tests {
     }
 
     #[test]
-    fn set_coordinates_partition_channel_then_bank() {
+    fn set_coordinates_partition_channel_then_bank_then_row() {
         let set = ChannelSet::new(2, 100, 8, 8, 128).with_banks(BankConfig::banked(4, 128));
         assert_eq!(set.bank_config().banks, 4);
-        // Line interleave picks the channel; row interleave the bank.
-        assert_eq!(set.coordinates_of(0), (0, 0));
-        assert_eq!(set.coordinates_of(128), (1, 0));
-        assert_eq!(set.coordinates_of(ROW), (0, 1));
-        assert_eq!(set.coordinates_of(4 * ROW + 128), (1, 0));
-        // Flat set: bank coordinate pinned to 0.
+        // Line interleave picks the channel; row interleave the bank;
+        // the row index names the open-row register at stake.
+        assert_eq!(set.coordinates_of(0), (0, 0, 0));
+        assert_eq!(set.coordinates_of(128), (1, 0, 0));
+        assert_eq!(set.coordinates_of(ROW), (0, 1, 1));
+        assert_eq!(set.coordinates_of(4 * ROW + 128), (1, 0, 4));
+        // Flat set: bank and row coordinates pinned to 0.
         let flat = ChannelSet::new(2, 100, 8, 8, 128);
-        assert_eq!(flat.coordinates_of(3 * ROW + 128), (1, 0));
+        assert_eq!(flat.coordinates_of(3 * ROW + 128), (1, 0, 0));
+    }
+
+    #[test]
+    fn buffered_writeback_keeps_the_channel_non_idle() {
+        let mut ch = MemoryChannel::new(100, 8, 8);
+        assert!(ch.is_idle(0));
+        // A freshly buffered write has not touched the bus (busy_until
+        // is still the issued-work frontier)...
+        ch.enqueue_write(0, 500, 0x80, TrafficClass::LineWrite, 128);
+        assert_eq!(ch.busy_until(), 0);
+        // ...but the channel must not report idle: the write is
+        // committed work an adaptive drain would otherwise never see.
+        assert!(!ch.is_idle(0));
+        assert!(!ch.is_idle(10_000));
+        ch.flush_writes(10_000);
+        assert!(ch.is_idle(10_000 + 8));
+    }
+
+    #[test]
+    fn set_idle_requires_every_channel_idle() {
+        let mut set = ChannelSet::new(2, 100, 8, 8, 128);
+        assert!(set.is_idle(0));
+        // Channel 1 gets a buffered write; the fabric is non-idle even
+        // though channel 0 never moved.
+        set.enqueue_write(0, 50, 128, TrafficClass::LineWrite, 128);
+        assert!(!set.is_idle(1_000));
+        // A demand read on channel 1 drains the ready write; the
+        // fabric goes idle once both bus timelines clear.
+        let done = set.demand_read(1_000, 128, TrafficClass::LineRead, 128);
+        assert!(!set.is_idle(1_000));
+        assert!(set.is_idle(done));
+        // Banked fabrics count bank busy timelines too.
+        let mut banked =
+            ChannelSet::new(1, 100, 8, 8, 128).with_banks(BankConfig::banked(2, 128));
+        banked.demand_read(0, 0, TrafficClass::LineRead, 128);
+        assert!(!banked.is_idle(0));
+        assert!(banked.is_idle(1_000));
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //!   class so Fig. 9 (SNC-induced traffic) can be reproduced;
 //! * [`BankSet`] — per-channel DRAM banks with open-row registers, so an
 //!   access is charged the row-hit or row-conflict (precharge + activate)
-//!   latency and locality inside a channel matters;
+//!   latency and locality inside a channel matters; a [`PagePolicy`]
+//!   knob chooses between open-page rows and closed-page auto-precharge;
+//! * [`DrainOrder`] — the drain-order knob backends thread through
+//!   their configuration; the FR-FCFS algorithm it selects lives on
+//!   the fabric ([`ChannelSet::row_first_order`]), which owns the
+//!   open-row state it consults;
 //! * [`MemoryChannel`] / [`ChannelSet`] — one write-buffered DRAM channel,
 //!   and the line-address-interleaved multi-channel fabric that lets a
 //!   transaction engine spread independent misses over `N` controllers;
@@ -32,13 +37,16 @@
 mod bank;
 mod channel;
 mod region;
+mod sched;
 mod sparse;
 mod timing;
 
 pub use bank::{
-    BankConfig, BankGrant, BankSet, DEFAULT_ROW_CONFLICT_CYCLES, DEFAULT_ROW_HIT_CYCLES, ROW_LINES,
+    BankConfig, BankGrant, BankSet, PagePolicy, DEFAULT_ROW_CLOSED_CYCLES,
+    DEFAULT_ROW_CONFLICT_CYCLES, DEFAULT_ROW_HIT_CYCLES, ROW_LINES,
 };
 pub use channel::{ChannelSet, MemoryChannel};
+pub use sched::DrainOrder;
 pub use region::{RegionMap, RegionOverlap};
 pub use sparse::SparseMemory;
 pub use timing::{MemTimingModel, TrafficClass};

@@ -1,0 +1,49 @@
+//! Drain-order policy for window-batched memory transactions.
+//!
+//! A transaction engine that drains a window of outstanding misses in
+//! strict arrival order leaves row-buffer locality on the table: two
+//! misses to the same DRAM row, separated in the window by a miss to a
+//! different row of the same bank, pay two precharge + activate
+//! conflicts where one would do. Memory controllers solve this with
+//! FR-FCFS (first-ready, first-come-first-served) scheduling: among
+//! ready requests, row hits issue before row misses, and ties break by
+//! age.
+//!
+//! [`DrainOrder`] is the knob backends thread through their
+//! configuration; the scheduling algorithm itself lives on the fabric
+//! ([`crate::ChannelSet::row_first_order`]), which owns the per-bank
+//! open-row state the policy consults. `Fifo` (the default) preserves
+//! the arrival-order drain bit-exactly.
+
+/// The order a drain scheduler issues a window's memory accesses in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainOrder {
+    /// Strict arrival order (the paper's controller, and the default).
+    #[default]
+    Fifo,
+    /// FR-FCFS: first-ready, row-hit-first, oldest-first
+    /// ([`crate::ChannelSet::row_first_order`]), so same-row accesses
+    /// issue back-to-back and row-mates become open-row hits.
+    RowFirst,
+}
+
+impl std::fmt::Display for DrainOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrainOrder::Fifo => write!(f, "fifo"),
+            DrainOrder::RowFirst => write!(f, "row-first"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_order_defaults_and_prints() {
+        assert_eq!(DrainOrder::default(), DrainOrder::Fifo);
+        assert_eq!(DrainOrder::Fifo.to_string(), "fifo");
+        assert_eq!(DrainOrder::RowFirst.to_string(), "row-first");
+    }
+}

@@ -81,25 +81,29 @@ proptest! {
     ) {
         let fabric = banked(channels, banks);
         for &addr in &addrs {
-            let (ch, bk) = fabric.coordinates_of(addr);
+            let (ch, bk, row) = fabric.coordinates_of(addr);
             prop_assert!(ch < channels, "{addr:#x} -> out-of-range channel {ch}");
             prop_assert!(bk < banks, "{addr:#x} -> out-of-range bank {bk}");
             // The channel is a function of the line index alone and the
-            // bank of the row index alone: every byte of the line (and
-            // every line of the row, as seen through the same channel)
-            // agrees, so no address serves two coordinates.
+            // bank and row of the row index alone: every byte of the
+            // line (and every line of the row, as seen through the same
+            // channel) agrees, so no address serves two coordinates.
             let line_base = addr / LINE * LINE;
             for probe in [line_base, line_base + 1, line_base + LINE - 1, addr] {
-                prop_assert_eq!(fabric.coordinates_of(probe), (ch, bk));
+                prop_assert_eq!(fabric.coordinates_of(probe), (ch, bk, row));
             }
             prop_assert_eq!(ch, ((addr / LINE) % channels as u64) as usize);
             prop_assert_eq!(bk, ((addr / ROW) % banks as u64) as usize);
+            prop_assert_eq!(row, addr / ROW);
+            // The bank is derived from the row, so the pair never
+            // disagrees about which open-row register is at stake.
+            prop_assert_eq!(bk, (row % banks as u64) as usize);
         }
         // Sweeping consecutive lines through one full bank rotation
         // reaches every coordinate.
         let mut seen = vec![false; channels * banks];
         for line in 0..(channels * banks) as u64 * ROW_LINES {
-            let (ch, bk) = fabric.coordinates_of(line * LINE);
+            let (ch, bk, _) = fabric.coordinates_of(line * LINE);
             seen[ch * banks + bk] = true;
         }
         prop_assert!(seen.iter().all(|&s| s), "some (channel, bank) unreachable");

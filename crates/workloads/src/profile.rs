@@ -62,6 +62,19 @@ pub struct SpecProfile {
     /// fast-forwarded instructions). Decides whether a no-replacement
     /// SNC is already full when measurement starts.
     pub ancient_lines: u64,
+    /// Consecutive lines each chase stream walks before jumping to a
+    /// fresh random base (`1` = the classic uniform-random single-line
+    /// chase). Models adjacency/neighbour-list runs: a frontier pop
+    /// lands at a random vertex, but its edge list is a short
+    /// *sequential* run of lines.
+    pub chase_run_lines: u64,
+    /// Concurrently-walked chase streams, interleaved round-robin
+    /// (`1` = one stream). With `chase_run_lines > 1` this is the
+    /// number of neighbour lists in flight at once — interleaved
+    /// sequential runs are the access pattern that punishes an
+    /// arrival-order DRAM drain (each stream keeps reopening its row)
+    /// and rewards FR-FCFS row grouping.
+    pub chase_streams: usize,
     /// Whether chase loads form a serial dependence chain (no MLP).
     pub serial_chase: bool,
     /// Whether chase loads are data-independent of nearby ops —
@@ -98,6 +111,8 @@ impl SpecProfile {
             write_mix: [1.0, 0.0, 0.0, 0.0],
             drift_cold_read_frac: 0.0,
             ancient_lines: 2 * 1024,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 16 << 10,

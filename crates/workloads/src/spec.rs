@@ -77,6 +77,10 @@ pub struct SpecWorkload {
     drift_window_base: u64, // frontier, in line units within the region
     drift_write_off: u64,   // byte offset of the bump pointer in its line
     drift_writes: u32,
+    // chase-run state: per-stream (base line, lines consumed) of the
+    // neighbour-list run currently being walked
+    chase_runs: Vec<(u64, u64)>,
+    chase_cursor: usize,
     // dependence state
     ops_since_chase_load: u16,
     op_index: u64,
@@ -113,6 +117,8 @@ impl SpecWorkload {
             drift_window_base: initial_frontier,
             drift_write_off: 0,
             drift_writes: 0,
+            chase_runs: Vec::new(),
+            chase_cursor: 0,
             ops_since_chase_load: 0,
             op_index: 0,
         }
@@ -148,9 +154,33 @@ impl SpecWorkload {
         STREAM_BASE + self.stream_cursor
     }
 
+    /// The chase region: uniform random lines when `chase_run_lines`
+    /// is 1 (the classic pointer chase), otherwise `chase_streams`
+    /// concurrently-walked neighbour-list runs — each stream walks
+    /// `chase_run_lines` consecutive lines from a random base before
+    /// popping the next (random) vertex, and successive chase loads
+    /// rotate round-robin over the streams, interleaving the runs the
+    /// way a BFS inner loop interleaves the frontier's edge lists.
     fn chase_addr(&mut self) -> u64 {
         let lines = (self.profile.chase_bytes / LINE).max(1);
-        CHASE_BASE + self.rng.below(lines) * LINE + self.rng.below(16) * 8
+        let run = self.profile.chase_run_lines.max(1);
+        let streams = self.profile.chase_streams.max(1);
+        if run == 1 && streams == 1 {
+            return CHASE_BASE + self.rng.below(lines) * LINE + self.rng.below(16) * 8;
+        }
+        while self.chase_runs.len() < streams {
+            let base = self.rng.below(lines);
+            self.chase_runs.push((base, 0));
+        }
+        self.chase_cursor = (self.chase_cursor + 1) % streams;
+        let (base, consumed) = &mut self.chase_runs[self.chase_cursor];
+        if *consumed >= run {
+            *base = self.rng.below(lines);
+            *consumed = 0;
+        }
+        let line = (*base + *consumed) % lines;
+        *consumed += 1;
+        CHASE_BASE + line * LINE + self.rng.below(16) * 8
     }
 
     /// The drift region models an allocation front: writes fill memory
@@ -396,6 +426,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.55, 0.0, 0.0, 0.45],
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.25,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 32 << 10,
@@ -421,6 +453,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [1.0, 0.0, 0.0, 0.0],
             ancient_lines: 2 * 1024,
             drift_cold_read_frac: 0.0,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 16 << 10,
@@ -446,6 +480,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.5, 0.0, 0.0, 0.5],
             ancient_lines: 4 * 1024,
             drift_cold_read_frac: 0.1,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 32 << 10,
@@ -471,6 +507,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.3, 0.0, 0.0, 0.7],
             ancient_lines: 4 * 1024,
             drift_cold_read_frac: 0.0,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 32 << 10,
@@ -497,6 +535,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.15, 0.0, 0.0, 0.85],
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.025,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 64 << 10,
@@ -521,6 +561,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.65, 0.0, 0.0, 0.35],
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.15,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 16 << 10,
@@ -546,6 +588,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.2, 0.0, 0.0, 0.8],
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.1,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: true,
             independent_chase: false,
             code_bytes: 16 << 10,
@@ -570,6 +614,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [1.0, 0.0, 0.0, 0.0],
             ancient_lines: 2 * 1024,
             drift_cold_read_frac: 0.0,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 32 << 10,
@@ -595,6 +641,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.3, 0.0, 0.0, 0.7],
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.02,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 64 << 10,
@@ -620,6 +668,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.5, 0.0, 0.0, 0.5],
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.05,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 64 << 10,
@@ -645,6 +695,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [1.0, 0.0, 0.0, 0.0],
             ancient_lines: 2 * 1024,
             drift_cold_read_frac: 0.0,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: false,
             independent_chase: false,
             code_bytes: 32 << 10,
@@ -652,9 +704,14 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             seed: 0xa30b,
         },
         // Graph traversal (breadth-first over a large out-of-core
-        // adjacency structure): dense *independent* random reads —
-        // frontier vertices were queued long before their neighbour
-        // lists are fetched — plus a store front writing visit marks.
+        // adjacency structure): dense *independent* reads — frontier
+        // vertices were queued long before their neighbour lists are
+        // fetched — plus a store front writing visit marks. Each
+        // frontier pop lands at a random vertex whose *edge list* is a
+        // sequential run of lines, and several lists are walked
+        // concurrently (interleaved streams): the access shape that
+        // keeps reopening DRAM rows under an arrival-order drain and
+        // that FR-FCFS row grouping converts back into open-row hits.
         // Not one of the paper's 11 figure benchmarks; this is the
         // memory-level-parallelism stress workload the `repro --mlp`
         // end-to-end sweep records its trace from.
@@ -675,6 +732,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [0.2, 0.0, 0.0, 0.8],
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.3,
+            chase_run_lines: 16,
+            chase_streams: 2,
             serial_chase: false,
             independent_chase: true,
             code_bytes: 16 << 10,
@@ -707,6 +766,8 @@ pub fn benchmark_profile(name: &str) -> SpecProfile {
             write_mix: [1.0, 0.0, 0.0, 0.0],
             ancient_lines: 96 * 1024,
             drift_cold_read_frac: 0.0,
+            chase_run_lines: 1,
+            chase_streams: 1,
             serial_chase: true,
             independent_chase: false,
             code_bytes: 8 << 10,
@@ -771,6 +832,80 @@ mod tests {
             (branches / n - bf).abs() < 0.01,
             "branches {}",
             branches / n
+        );
+    }
+
+    #[test]
+    fn chase_runs_walk_consecutive_lines_per_stream() {
+        // bfs walks neighbour lists: per stream, chase lines advance by
+        // exactly one line `chase_run_lines` times before jumping to a
+        // fresh random base, and successive chase loads alternate over
+        // `chase_streams` interleaved lists.
+        let profile = benchmark_profile("bfs");
+        let (run, streams) = (profile.chase_run_lines, profile.chase_streams);
+        assert!(run > 1 && streams > 1, "bfs should walk interleaved runs");
+        let mut w = SpecWorkload::new(profile);
+        let mut chase_lines = Vec::new();
+        for _ in 0..200_000u64 {
+            if let OpClass::Load(addr) = w.next_op().class {
+                if (CHASE_BASE..DRIFT_BASE).contains(&addr) {
+                    chase_lines.push((addr - CHASE_BASE) / 128);
+                }
+            }
+        }
+        assert!(chase_lines.len() > 10_000);
+        // De-interleave by stream and count single-line advances.
+        let mut sequential = 0usize;
+        let mut total = 0usize;
+        for s in 0..streams {
+            let stream: Vec<u64> = chase_lines
+                .iter()
+                .skip(s)
+                .step_by(streams)
+                .copied()
+                .collect();
+            for pair in stream.windows(2) {
+                total += 1;
+                if pair[1] == pair[0] + 1 {
+                    sequential += 1;
+                }
+            }
+        }
+        // Each run contributes run-1 sequential steps and one jump.
+        let expect = (run - 1) as f64 / run as f64;
+        let got = sequential as f64 / total as f64;
+        assert!(
+            (got - expect).abs() < 0.03,
+            "sequential fraction {got:.3}, expected ~{expect:.3}"
+        );
+        // The de-interleaving above only lines up if chase loads really
+        // rotate streams round-robin; a shuffled assignment would make
+        // almost no pair sequential.
+        assert!(got > 0.5);
+    }
+
+    #[test]
+    fn single_stream_profiles_keep_the_uniform_random_chase() {
+        // rstride (and every figure benchmark) declares run = stream =
+        // 1 and must keep the classic uniform-random chase: almost no
+        // consecutive-line pairs.
+        let mut w = SpecWorkload::new(benchmark_profile("rstride"));
+        let mut chase_lines = Vec::new();
+        for _ in 0..100_000u64 {
+            if let OpClass::Load(addr) = w.next_op().class {
+                if (CHASE_BASE..DRIFT_BASE).contains(&addr) {
+                    chase_lines.push((addr - CHASE_BASE) / 128);
+                }
+            }
+        }
+        let sequential = chase_lines
+            .windows(2)
+            .filter(|p| p[1] == p[0] + 1)
+            .count();
+        assert!(
+            (sequential as f64) < chase_lines.len() as f64 * 0.01,
+            "{sequential} of {} pairs sequential",
+            chase_lines.len()
         );
     }
 
