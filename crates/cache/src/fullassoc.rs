@@ -3,11 +3,11 @@
 //! The paper's default SNC is fully associative (§4: "To remove conflict
 //! misses as much as possible, a fully associative cache is desired").
 //! With 32K entries a linear LRU scan would dominate simulation time, so
-//! this implementation pairs a hash map with an intrusive doubly linked
-//! list over a slab of nodes.
+//! this implementation pairs an ordered key map with an intrusive doubly
+//! linked list over a slab of nodes.
 
 use padlock_stats::CounterSet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const NIL: usize = usize::MAX;
 
@@ -51,7 +51,11 @@ pub struct FullAssocEvicted<T> {
 #[derive(Debug, Clone)]
 pub struct FullAssocCache<T> {
     capacity: usize,
-    map: HashMap<u64, usize>,
+    // BTreeMap, not HashMap (padlock-lint D1): recency lives in the
+    // intrusive list, so the map is only ever point-queried — but a
+    // deterministic structure keeps every future iteration safe and
+    // Debug output stable across runs.
+    map: BTreeMap<u64, usize>,
     /// Slab of nodes; `None` marks a slot on the free list.
     nodes: Vec<Option<Node<T>>>,
     free: Vec<usize>,
@@ -70,7 +74,7 @@ impl<T> FullAssocCache<T> {
         assert!(capacity > 0, "capacity must be positive");
         Self {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 22)),
+            map: BTreeMap::new(),
             nodes: Vec::new(),
             free: Vec::new(),
             head: NIL,

@@ -10,7 +10,7 @@
 //! motivates the paper's per-line sequence numbers.
 
 use padlock_crypto::{CbcMac, CipherKind, OneTimePad};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Per-compartment encryption and authentication engines, derived from
@@ -143,11 +143,11 @@ struct TaggedWord {
 pub struct CompartmentManager {
     regs: [TaggedWord; NUM_REGS],
     active: XomId,
-    keys: HashMap<XomId, [u8; 16]>,
+    keys: BTreeMap<XomId, [u8; 16]>,
     /// Monotonic interrupt counter: the "mutating value" of §3.4.
     interrupt_counter: u64,
     /// Per-compartment expected counter for replay rejection.
-    expected_counter: HashMap<XomId, u64>,
+    expected_counter: BTreeMap<XomId, u64>,
 }
 
 impl Default for CompartmentManager {
@@ -163,9 +163,9 @@ impl CompartmentManager {
         Self {
             regs: [TaggedWord::default(); NUM_REGS],
             active: XomId::NULL,
-            keys: HashMap::new(),
+            keys: BTreeMap::new(),
             interrupt_counter: 0,
-            expected_counter: HashMap::new(),
+            expected_counter: BTreeMap::new(),
         }
     }
 

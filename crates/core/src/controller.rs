@@ -84,7 +84,7 @@ use crate::snc_shards::SncShards;
 use padlock_cpu::{LineKind, MemoryBackend};
 use padlock_mem::{ChannelSet, DrainOrder, PagePolicy, TrafficClass};
 use padlock_stats::CounterSet;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// The configurable secure memory controller.
 ///
@@ -110,7 +110,7 @@ pub struct SecureBackend {
     snc: Option<SncShards>,
     /// Lines that have ever been written back (their in-memory copy is
     /// OTP-dynamic or, under a full no-replacement SNC, direct-encrypted).
-    written: HashSet<u64>,
+    written: BTreeSet<u64>,
     /// Evicted sequence numbers awaiting spill; 64 two-byte entries pack
     /// into one line-sized memory transaction.
     pending_spills: u32,
@@ -208,7 +208,7 @@ impl SecureBackend {
             config,
             channels,
             snc,
-            written: HashSet::new(),
+            written: BTreeSet::new(),
             pending_spills: 0,
             queue: VecDeque::new(),
             stats: CounterSet::new("controller"),
@@ -757,6 +757,15 @@ impl MemoryBackend for SecureBackend {
         self.queue.push_back(MemTxn::writeback(now, line_addr));
         let mut out = Vec::new();
         self.drain_window(&mut out);
+    }
+
+    fn is_idle(&self, now: u64) -> bool {
+        // Quiescent means the DRAM fabric has gone idle *and* no
+        // transaction still sits in the in-flight queue. Buffered
+        // sequence-number spills (`pending_spills`) are deliberately not
+        // counted: they occupy no channel until a full batch packs, so
+        // they do not represent overlap an incoming miss could ride.
+        self.queue.is_empty() && self.channels.is_idle(now)
     }
 
     fn drain(&mut self, now: u64) {

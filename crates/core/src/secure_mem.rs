@@ -10,7 +10,7 @@
 use crate::config::SeedScheme;
 use padlock_crypto::{BlockCipher, CbcMac, CipherKind, OneTimePad, Sha256};
 use padlock_mem::{RegionMap, SparseMemory};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// How a region of memory is protected (decided at load time).
@@ -133,9 +133,9 @@ pub struct SecureMemory {
     regions: RegionMap<LineProtection>,
     /// Per-line sequence numbers (the union of SNC + spilled table; the
     /// functional layer does not model residency).
-    seqs: HashMap<u64, u64>,
+    seqs: BTreeMap<u64, u64>,
     /// Per-line MACs — conceptually stored in untrusted memory.
-    macs: HashMap<u64, [u8; 8]>,
+    macs: BTreeMap<u64, [u8; 8]>,
     /// On-chip root over the MAC table (MacTree mode).
     root: [u8; 32],
 }
@@ -183,8 +183,8 @@ impl SecureMemory {
             integrity,
             mem: SparseMemory::new(),
             regions: RegionMap::new(LineProtection::OtpDynamic),
-            seqs: HashMap::new(),
-            macs: HashMap::new(),
+            seqs: BTreeMap::new(),
+            macs: BTreeMap::new(),
             root: [0u8; 32],
         }
     }
@@ -233,10 +233,10 @@ impl SecureMemory {
     }
 
     fn recompute_root(&mut self) {
-        let mut entries: Vec<(&u64, &[u8; 8])> = self.macs.iter().collect();
-        entries.sort_by_key(|(a, _)| **a);
+        // BTreeMap iteration is already address-sorted, which is
+        // exactly the canonical order the root hash is defined over.
         let mut h = Sha256::new();
-        for (addr, tag) in entries {
+        for (addr, tag) in &self.macs {
             h.update(&addr.to_be_bytes());
             h.update(tag);
         }
@@ -244,10 +244,8 @@ impl SecureMemory {
     }
 
     fn verify_root(&self, addr: u64) -> Result<(), SecureMemoryError> {
-        let mut entries: Vec<(&u64, &[u8; 8])> = self.macs.iter().collect();
-        entries.sort_by_key(|(a, _)| **a);
         let mut h = Sha256::new();
-        for (a, tag) in entries {
+        for (a, tag) in &self.macs {
             h.update(&a.to_be_bytes());
             h.update(tag);
         }

@@ -326,7 +326,7 @@ fn assert_backend_equivalent(mode: SecurityMode, channels: usize, inflight: usiz
     if let Some(snc) = a.snc() {
         assert_eq!(
             counters(&snc.stats()),
-            counters(&b.snc().unwrap().stats()),
+            counters(&b.snc().expect("both engines run the same mode").stats()),
             "snc diverged ({mode}, {channels}ch, mlp{inflight})"
         );
     }

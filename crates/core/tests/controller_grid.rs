@@ -9,7 +9,7 @@ use padlock_core::{
 };
 use padlock_cpu::{LineKind, MemoryBackend};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn small_footprints_never_leave_the_fast_path(ops in ops_strategy()) {
         let mut otp = backend(SecurityMode::otp_lru_64k());
-        let mut written = std::collections::HashSet::new();
+        let mut written = std::collections::BTreeSet::new();
         let mut t = 0u64;
         for op in &ops {
             t += 500;
@@ -113,7 +113,7 @@ proptest! {
         });
         // Reference: map line -> seq; recency only checked for the fully
         // associative case (set-assoc recency is per-set).
-        let mut model: HashMap<u64, u16> = HashMap::new();
+        let mut model: BTreeMap<u64, u16> = BTreeMap::new();
         let mut recency: Vec<u64> = Vec::new();
         for (line, is_update) in ops {
             let addr = line * 128;

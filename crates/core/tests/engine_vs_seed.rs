@@ -18,7 +18,7 @@ use padlock_mem::TrafficClass;
 use padlock_stats::CounterSet;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Sequence-number entries packed per spill transaction.
 const SPILL_BATCH: u32 = 64;
@@ -29,7 +29,7 @@ struct SeedBackend {
     config: SecureBackendConfig,
     channel: MemoryChannel,
     snc: Option<SequenceNumberCache>,
-    written: HashSet<u64>,
+    written: BTreeSet<u64>,
     pending_spills: u32,
     stats: CounterSet,
 }
@@ -49,7 +49,7 @@ impl SeedBackend {
             config,
             channel,
             snc,
-            written: HashSet::new(),
+            written: BTreeSet::new(),
             pending_spills: 0,
             stats: CounterSet::new("controller"),
         }
@@ -260,12 +260,13 @@ fn assert_equivalent(mode: SecurityMode, occupancy: u64, slow_crypto: bool, seed
         "controller counters diverged"
     );
     if let Some(snc) = engine.snc() {
+        let ref_snc = reference.snc.as_ref().expect("both models run the same mode");
         assert_eq!(
             counters(&snc.stats()),
-            counters(reference.snc.as_ref().unwrap().stats()),
+            counters(ref_snc.stats()),
             "snc counters diverged"
         );
-        assert_eq!(snc.occupancy(), reference.snc.as_ref().unwrap().occupancy());
+        assert_eq!(snc.occupancy(), ref_snc.occupancy());
     }
 }
 

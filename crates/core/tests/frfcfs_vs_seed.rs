@@ -43,7 +43,7 @@ use padlock_mem::{
 use padlock_stats::CounterSet;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 fn counters(set: &CounterSet) -> BTreeMap<String, u64> {
     set.iter().map(|(k, v)| (k.to_string(), v)).collect()
@@ -175,7 +175,7 @@ struct SeedEngine {
     config: SecureBackendConfig,
     channels: ChannelSet,
     snc: Option<SncShards>,
-    written: HashSet<u64>,
+    written: BTreeSet<u64>,
     pending_spills: u32,
     queue: Vec<MemTxn>,
     stats: CounterSet,
@@ -199,7 +199,7 @@ impl SeedEngine {
             config,
             channels,
             snc,
-            written: HashSet::new(),
+            written: BTreeSet::new(),
             pending_spills: 0,
             queue: Vec::new(),
             stats: CounterSet::new("controller"),
@@ -617,7 +617,7 @@ fn assert_engine_equivalent(
     if let Some(snc) = new.snc() {
         assert_eq!(
             counters(&snc.stats()),
-            counters(&old.snc.as_ref().unwrap().stats()),
+            counters(&old.snc.as_ref().expect("both engines run the same mode").stats()),
             "snc diverged ({tag})"
         );
     }

@@ -128,7 +128,7 @@ proptest! {
     ) {
         let per_shard = 4usize;
         let mut snc = SncShards::new(cfg(per_shard * shards, SncPolicy::NoReplacement), shards);
-        let mut resident: Vec<std::collections::HashSet<u64>> =
+        let mut resident: Vec<std::collections::BTreeSet<u64>> =
             vec![Default::default(); shards];
         for line in lines {
             let a = line * 128;

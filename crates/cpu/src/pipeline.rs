@@ -4,7 +4,7 @@
 use crate::bpred::{BimodalPredictor, BranchPredictor};
 use crate::hierarchy::{Access, AccessToken, Hierarchy, MemoryBackend};
 use crate::op::{OpClass, Workload};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Pipeline widths and structure sizes.
 ///
@@ -194,7 +194,9 @@ impl<B: MemoryBackend> Core<B> {
 
         // Loads waiting on in-flight L2 misses: MSHR token -> absolute
         // ROB sequence number of the load's slot.
-        let mut pending_loads: HashMap<AccessToken, u64> = HashMap::new();
+        // BTreeMap (padlock-lint D1): token -> ROB slot bookkeeping must
+        // stay deterministic if it is ever iterated or debugged.
+        let mut pending_loads: BTreeMap<AccessToken, u64> = BTreeMap::new();
         let mut resolved_buf: Vec<(AccessToken, u64)> = Vec::new();
 
         // Front-end state.

@@ -388,7 +388,7 @@ impl fmt::Display for BigUint {
         if self.limbs.is_empty() {
             return f.write_str("0");
         }
-        write!(f, "{:x}", self.limbs.last().unwrap())?;
+        write!(f, "{:x}", self.limbs.last().expect("limbs checked non-empty above"))?;
         for limb in self.limbs.iter().rev().skip(1) {
             write!(f, "{limb:08x}")?;
         }

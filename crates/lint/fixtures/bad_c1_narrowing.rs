@@ -1,0 +1,7 @@
+// Fixture: C1 must fire twice — lossy `as` narrowing of cycle-typed
+// expressions.
+pub fn wraps(total_cycles: u64, busy_until: u64) -> (u32, usize) {
+    let a = total_cycles as u32;
+    let b = (busy_until + 7) as usize;
+    (a, b)
+}

@@ -1,0 +1,14 @@
+// Fixture: D1 must fire — HashMap in a simulation crate without a
+// `// lint: sorted` justification. (Linted as crates/mem/src/...)
+use std::collections::HashMap;
+
+pub struct RowTable {
+    open_rows: HashMap<u64, u64>,
+}
+
+pub fn sum(rows: &HashMap<u64, u64>) -> u64 {
+    // Iteration-order dependence: accumulation order varies run to run
+    // under a randomized hasher even though the sum itself does not —
+    // and the next edit that formats or truncates this loop diverges.
+    rows.values().sum()
+}

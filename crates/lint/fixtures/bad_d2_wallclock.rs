@@ -1,0 +1,13 @@
+// Fixture: D2 must fire twice — wall-clock and ambient entropy in
+// non-test simulation code.
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

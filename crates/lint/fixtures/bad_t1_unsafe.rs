@@ -1,0 +1,13 @@
+// Fixture: T1 must fire three times — unjustified unsafe, static mut,
+// and interior mutability.
+use std::cell::RefCell;
+
+static mut GLOBAL_CYCLES: u64 = 0;
+
+pub struct Scratch {
+    buf: RefCell<Vec<u8>>,
+}
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

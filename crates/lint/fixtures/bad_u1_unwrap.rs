@@ -1,0 +1,5 @@
+// Fixture: U1 must fire — a bare unwrap in library non-test code.
+// (Linted as crates/mem/src/...)
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,18 @@
+// Fixture: C1 must stay silent — checked conversion, widening,
+// non-counter narrowing, and a justified bounded cast.
+pub fn checked(total_cycles: u64) -> u32 {
+    total_cycles.try_into().expect("window fits in u32 by construction")
+}
+
+pub fn widen(hit_cycles: u32) -> u64 {
+    hit_cycles as u64
+}
+
+pub fn index(slot: u64) -> usize {
+    slot as usize
+}
+
+pub fn bounded(ready_at: u64, rob_size: usize) -> usize {
+    // lint: bounded rob slot offset is < rob_size (checked by caller)
+    (ready_at % rob_size as u64) as usize
+}

@@ -1,0 +1,19 @@
+// Fixture: D1 must stay silent — deterministic collections, plus a
+// justified HashSet whose contents are sorted before iteration.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct RowTable {
+    open_rows: BTreeMap<u64, u64>,
+    touched: BTreeSet<u64>,
+}
+
+pub fn dedupe(addrs: &[u64]) -> Vec<u64> {
+    // lint: sorted keys are collected into a Vec and sorted before any iteration
+    let set: std::collections::HashSet<u64> = addrs.iter().copied().collect();
+    let mut v: Vec<u64> = set.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+// Mentions in prose and strings never count: HashMap, HashSet.
+pub const DOC: &str = "HashMap iteration order is nondeterministic";

@@ -1,0 +1,18 @@
+// Fixture: D2 must stay silent — seeded randomness in library code,
+// entropy only inside test code, wall clocks only in prose.
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Instant::now() would be wrong here; the simulated clock is `now`.
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_is_fine_in_tests() {
+        let mut rng = rand::thread_rng();
+        let _ = rng.next_u64();
+    }
+}

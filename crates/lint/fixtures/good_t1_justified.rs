@@ -1,0 +1,17 @@
+// Fixture: T1 must stay silent and emit three audit entries — every
+// site carries a `// lint: safety:` justification.
+// lint: safety: single-threaded scratch; never crosses the executor boundary
+use std::cell::RefCell;
+
+// lint: safety: written only before threads start, read-only afterwards
+static mut GLOBAL_CYCLES: u64 = 0;
+
+pub struct Scratch {
+    // lint: safety: per-worker scratch buffer, one owner per thread
+    buf: RefCell<Vec<u8>>,
+}
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // lint: safety: caller contract guarantees p is valid and aligned
+    unsafe { *p }
+}

@@ -1,0 +1,22 @@
+// Fixture: U1 must stay silent — expect with an invariant message,
+// unwrap_or family, a justified unwrap, and unwraps in test code.
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().expect("caller guarantees a non-empty batch")
+}
+
+pub fn head_or_zero(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn parse(s: &str) -> u64 {
+    // lint: unwrap the literal below is statically valid
+    "42".parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        Some(1u64).unwrap();
+    }
+}

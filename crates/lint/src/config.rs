@@ -1,0 +1,216 @@
+//! `lint.toml` parsing — a deliberately tiny TOML subset.
+//!
+//! Supported: `[section]` headers, `key = "string"`, `key = true/false`,
+//! and `key = ["a", "b"]` string arrays (single-line). Comments (`#`)
+//! and blank lines are ignored. That is everything the lint config
+//! needs, and hand-rolling it keeps the tool dependency-free like the
+//! `vendor/` shims.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed configuration value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    List(Vec<String>),
+}
+
+/// Parsed `lint.toml`: `section.key -> value`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    entries: BTreeMap<(String, String), Value>,
+}
+
+/// A syntax error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses configuration text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut entries = BTreeMap::new();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = (i + 1) as u32;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(err(line_no, "unterminated section header"));
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(line_no, "expected `key = value`"));
+            };
+            let key = key.trim().to_string();
+            let value = parse_value(value.trim(), line_no)?;
+            entries.insert((section.clone(), key), value);
+        }
+        Ok(Self { entries })
+    }
+
+    /// A string-list entry; `None` when absent.
+    pub fn list(&self, section: &str, key: &str) -> Option<&[String]> {
+        match self.entries.get(&(section.to_string(), key.to_string())) {
+            Some(Value::List(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A string-list entry, defaulting to empty.
+    pub fn list_or_empty(&self, section: &str, key: &str) -> Vec<String> {
+        self.list(section, key).map(<[String]>::to_vec).unwrap_or_default()
+    }
+
+    /// A string entry; `None` when absent.
+    pub fn str(&self, section: &str, key: &str) -> Option<&str> {
+        match self.entries.get(&(section.to_string(), key.to_string())) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A boolean entry with a default.
+    pub fn bool_or(&self, section: &str, key: &str, default: bool) -> bool {
+        match self.entries.get(&(section.to_string(), key.to_string())) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+}
+
+fn err(line: u32, message: &str) -> ConfigError {
+    ConfigError { line, message: message.to_string() }
+}
+
+/// Strips a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, line: u32) -> Result<Value, ConfigError> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = parse_str(text) {
+        return Ok(Value::Str(s));
+    }
+    if let Some(body) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let body = body.trim();
+        let mut items = Vec::new();
+        if !body.is_empty() {
+            for item in split_top_level_commas(body) {
+                let item = item.trim();
+                match parse_str(item) {
+                    Some(s) => items.push(s),
+                    None => return Err(err(line, "lists may only hold quoted strings")),
+                }
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    Err(err(line, "expected a quoted string, bool, or string list"))
+}
+
+fn parse_str(text: &str) -> Option<String> {
+    let body = text.strip_prefix('"')?.strip_suffix('"')?;
+    // No escapes needed for path/ident config values.
+    if body.contains('"') {
+        return None;
+    }
+    Some(body.to_string())
+}
+
+fn split_top_level_commas(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&body[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_lists_strings_bools() {
+        let cfg = Config::parse(
+            "# top comment\n\
+             [lint]\n\
+             skip_dirs = [\"target\", \"vendor\"] # trailing\n\
+             strict = true\n\
+             [d2]\n\
+             allow_crates = [\"bench\"]\n\
+             note = \"wall, clock\"\n",
+        )
+        .expect("valid config");
+        assert_eq!(
+            cfg.list("lint", "skip_dirs").expect("list"),
+            &["target".to_string(), "vendor".to_string()]
+        );
+        assert!(cfg.bool_or("lint", "strict", false));
+        assert_eq!(cfg.str("d2", "note"), Some("wall, clock"));
+        assert_eq!(cfg.list("d2", "allow_crates").expect("list"), &["bench".to_string()]);
+    }
+
+    #[test]
+    fn empty_list_and_missing_keys() {
+        let cfg = Config::parse("[u1]\nallow_paths = []\n").expect("valid");
+        assert_eq!(cfg.list("u1", "allow_paths").expect("list"), &[] as &[String]);
+        assert!(cfg.list("u1", "nope").is_none());
+        assert!(cfg.bool_or("u1", "nope", true));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = Config::parse("[lint]\nbroken\n").expect_err("invalid");
+        assert_eq!(e.line, 2);
+        let e = Config::parse("key = [1, 2]\n").expect_err("invalid");
+        assert_eq!(e.line, 1);
+        let e = Config::parse("[oops\n").expect_err("invalid");
+        assert!(e.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("k = \"a#b\"\n").expect("valid");
+        assert_eq!(cfg.str("", "k"), Some("a#b"));
+    }
+}

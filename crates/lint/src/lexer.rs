@@ -1,0 +1,379 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The rules only need to tell *code* apart from comments and string
+//! literals, keep identifiers and punctuation with line numbers, and
+//! preserve comment text (that is where `// lint:` annotations live).
+//! No keyword table, no spans beyond line numbers, no macro expansion:
+//! the rules pattern-match on the raw token stream.
+//!
+//! Handled faithfully because getting them wrong produces false
+//! positives inside literals: line comments, nested block comments,
+//! (raw/byte) string literals, char literals vs. lifetimes, and raw
+//! identifiers.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `as`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `(`, ...).
+    Punct(char),
+    /// A string literal (content preserved for pattern rules).
+    Str(String),
+    /// A char literal (`'a'`, `'\n'`).
+    CharLit,
+    /// A numeric literal (value irrelevant to every rule).
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A `//` comment; text excludes the slashes (doc comments too).
+    LineComment(String),
+    /// A `/* */` comment; text excludes the delimiters.
+    BlockComment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexes a whole source file. Unknown bytes become `Punct` so the
+/// stream never loses sync; the lexer cannot fail.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'r' | 'b' => self.raw_or_ident(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume //
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume /*
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate
+            }
+        }
+        self.push(Tok::BlockComment(text), line);
+    }
+
+    /// A plain `"..."` string with `\` escapes.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(Tok::Str(text), line);
+    }
+
+    /// `r"..."` / `r#"..."#` / `b"..."` / `br##"..."##` or just an
+    /// identifier starting with `r`/`b` (including raw idents `r#if`).
+    fn raw_or_ident(&mut self, line: u32) {
+        let mut ahead = 1; // past the leading r/b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        let is_raw_str = self.peek(ahead + hashes) == Some('"')
+            && (hashes > 0 || matches!(self.peek(0), Some('r') | Some('b')));
+        // `b"..."` has ahead==1, hashes==0 and is a byte string; a raw
+        // identifier `r#if` has hashes==1 but no quote.
+        if is_raw_str {
+            for _ in 0..ahead + hashes + 1 {
+                self.bump(); // prefix, hashes, opening quote
+            }
+            let mut text = String::new();
+            'scan: while let Some(c) = self.bump() {
+                if c == '"' {
+                    // A raw string closes on `"` followed by `hashes` #s.
+                    for i in 0..hashes {
+                        if self.peek(i) != Some('#') {
+                            text.push('"');
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                text.push(c);
+            }
+            self.push(Tok::Str(text), line);
+        } else if hashes > 0 && self.peek(ahead + hashes).is_some_and(is_ident_start) {
+            // Raw identifier: consume prefix + hashes, then the ident.
+            for _ in 0..ahead + hashes {
+                self.bump();
+            }
+            self.ident(line);
+        } else {
+            self.ident(line);
+        }
+    }
+
+    /// `'a'` vs `'a` — a lifetime has no closing quote right after its
+    /// (single) identifier-ish character run.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to closing quote.
+                self.bump();
+                self.bump(); // escape head (enough for \n, \', \u{..} handled below)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::CharLit, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be 'x' (char) or 'x / 'static (lifetime).
+                let mut len = 1;
+                while self.peek(len).is_some_and(is_ident_continue) {
+                    len += 1;
+                }
+                if self.peek(len) == Some('\'') {
+                    for _ in 0..=len {
+                        self.bump();
+                    }
+                    self.push(Tok::CharLit, line);
+                } else {
+                    for _ in 0..len {
+                        self.bump();
+                    }
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            Some(_) => {
+                // Non-alphabetic char literal like ' ' or '}'.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::CharLit, line);
+            }
+            None => self.push(Tok::Punct('\''), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        // Consume the alphanumeric run (covers 0x1F, 1_000u64, 1e9).
+        // `.` is deliberately left out: `0..n` must not swallow the
+        // range operator, and no rule cares about float values.
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        self.push(Tok::Num, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            // Defensive: never loop forever on an unexpected byte.
+            if let Some(c) = self.bump() {
+                self.push(Tok::Punct(c), line);
+            }
+            return;
+        }
+        self.push(Tok::Ident(name), line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let toks = lex("let x = y;\nfoo(x)");
+        assert_eq!(toks[0], Token { tok: Tok::Ident("let".into()), line: 1 });
+        assert_eq!(toks[4].tok, Tok::Punct(';'));
+        assert_eq!(toks[5], Token { tok: Tok::Ident("foo".into()), line: 2 });
+    }
+
+    #[test]
+    fn comments_are_preserved_not_code() {
+        let toks = lex("// lint: sorted\nx /* HashMap */ y");
+        assert_eq!(toks[0].tok, Tok::LineComment(" lint: sorted".into()));
+        assert_eq!(toks[2].tok, Tok::BlockComment(" HashMap ".into()));
+        assert_eq!(idents("// HashMap\n/* HashMap */"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks[0].tok, Tok::BlockComment(" a /* b */ c ".into()));
+        assert_eq!(toks[1].tok, Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        assert_eq!(idents(r#"let s = "HashMap::new() // not a comment";"#), vec!["let", "s"]);
+        // Escaped quote stays inside the literal.
+        assert_eq!(idents(r#"f("a\"HashMap", x)"#), vec!["f", "x"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(idents(r###"let s = r#"unsafe "quoted" inside"#; t"###), vec!["let", "s", "t"]);
+        assert_eq!(idents(r#"let b = b"unsafe"; t"#), vec!["let", "b", "t"]);
+        assert_eq!(idents(r###"let b = br#"thread_rng"#; t"###), vec!["let", "b", "t"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert_eq!(idents("let r#as = 1;"), vec!["let", "as"]);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = lex("'a' 'x &'a str '\\n' ' '");
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::CharLit));
+        assert!(matches!(kinds[1], Tok::Lifetime));
+        assert!(matches!(kinds[3], Tok::Lifetime));
+        assert!(matches!(kinds[5], Tok::CharLit)); // '\n'
+        assert!(matches!(kinds[6], Tok::CharLit)); // ' '
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..16u64 {}");
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let toks = lex("/* a\nb\nc */ x\ny");
+        assert_eq!(toks[1], Token { tok: Tok::Ident("x".into()), line: 3 });
+        assert_eq!(toks[2], Token { tok: Tok::Ident("y".into()), line: 4 });
+    }
+}

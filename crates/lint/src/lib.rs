@@ -1,0 +1,119 @@
+//! `padlock-lint` — workspace determinism & thread-safety analysis.
+//!
+//! A vendored, dependency-free static-analysis pass over the workspace
+//! sources, enforcing the repo-specific invariants that make the
+//! bit-exact differential methodology (`engine_vs_seed` …
+//! `frfcfs_vs_seed`) survive the planned parallel sweep executor:
+//!
+//! | Rule | Enforces |
+//! |------|----------|
+//! | `D1` | no `HashMap`/`HashSet` iteration-order dependence in simulation crates |
+//! | `D2` | no wall clocks / ambient randomness outside `bench`/`vendor` |
+//! | `T1` | every `unsafe`/`static mut`/interior-mutability site carries `// lint: safety:` |
+//! | `C1` | no lossy `as` narrowing of cycle/counter-typed expressions |
+//! | `U1` | no bare `.unwrap()` in library non-test code |
+//!
+//! Run it with `cargo run -p padlock-lint` from anywhere in the
+//! workspace; configuration lives in the root `lint.toml`.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::Config;
+pub use rules::{AuditEntry, FileReport, Finding, Rules};
+
+use std::path::Path;
+
+/// Directories never descended into when no config overrides them.
+pub const DEFAULT_SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+
+/// The result of linting a whole workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All rule violations, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// All justified T1 sites, sorted by path then line.
+    pub audit: Vec<AuditEntry>,
+    /// Number of files linted.
+    pub files: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the T1 audit table (the `Sync`-readiness worklist for
+    /// the parallel executor). Deterministic ordering.
+    pub fn audit_table(&self) -> String {
+        if self.audit.is_empty() {
+            return "T1 audit: no unsafe / static mut / interior-mutability sites — \
+                    every simulation structure is plain owned data.\n"
+                .to_string();
+        }
+        let mut out = String::from("T1 audit (justified non-Sync / unsafe sites):\n");
+        for e in &self.audit {
+            out.push_str(&format!(
+                "  {}:{}: {} — {}\n",
+                e.path, e.line, e.what, e.justification
+            ));
+        }
+        out
+    }
+}
+
+/// Lints every `.rs` file under `root` with the given config.
+///
+/// `root` should be the workspace root (the directory holding
+/// `lint.toml`); paths in findings are reported relative to it.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let rules = Rules::from_config(cfg);
+    let mut skip = cfg.list_or_empty("lint", "skip_dirs");
+    if skip.is_empty() {
+        skip = DEFAULT_SKIP_DIRS.map(String::from).to_vec();
+    }
+    let mut report = Report::default();
+    for path in walk::rust_sources(root, &skip)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let file = rules::lint_source(&rules, &rel, &src);
+        report.findings.extend(file.findings);
+        report.audit.extend(file.audit);
+        report.files += 1;
+    }
+    report.findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report.audit.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Loads `lint.toml` from `root`, falling back to built-in defaults
+/// when the file is absent.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text).map_err(|e| e.to_string()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Searches upward from `start` for a directory containing `lint.toml`
+/// (the workspace root).
+pub fn find_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

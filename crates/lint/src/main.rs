@@ -1,0 +1,141 @@
+//! The `padlock-lint` CLI.
+//!
+//! ```text
+//! padlock-lint [ROOT] [--audit] [--quiet]
+//! padlock-lint --file PATH [--as REL_PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/config/IO error.
+//! With no `ROOT`, the workspace root is found by searching upward from
+//! the current directory for `lint.toml` — so `cargo run -p
+//! padlock-lint` works from anywhere in the checkout (and is the CI
+//! gate). `--file` lints one file; `--as` sets the workspace-relative
+//! path the rules see (fixtures use it to pose as sim-crate sources).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    file: Option<PathBuf>,
+    lint_as: Option<String>,
+    audit: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: None, file: None, lint_as: None, audit: false, quiet: false };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--audit" => args.audit = true,
+            "--quiet" => args.quiet = true,
+            "--file" => {
+                let v = argv.next().ok_or("--file needs a path")?;
+                args.file = Some(PathBuf::from(v));
+            }
+            "--as" => {
+                let v = argv.next().ok_or("--as needs a workspace-relative path")?;
+                args.lint_as = Some(v);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "padlock-lint: workspace determinism & thread-safety analysis\n\n\
+                     usage: padlock-lint [ROOT] [--audit] [--quiet]\n       \
+                     padlock-lint --file PATH [--as REL_PATH]\n\n\
+                     Rules (see lint.toml and the README's Static analysis section):\n  \
+                     D1  no HashMap/HashSet iteration-order dependence in sim crates\n  \
+                     D2  no wall clocks / ambient randomness outside bench+vendor\n  \
+                     T1  unsafe / static mut / interior mutability needs `// lint: safety:`\n  \
+                     C1  no lossy `as` narrowing of cycle/counter expressions\n  \
+                     U1  no bare .unwrap() in library non-test code\n\n\
+                     --audit     also print the justified-T1-site audit table\n\
+                     --quiet     suppress the summary line (findings still print)\n\
+                     --file P    lint one file instead of the workspace\n\
+                     --as REL    workspace-relative path the rules should see for --file"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if args.root.replace(PathBuf::from(path)).is_some() {
+                    return Err("at most one ROOT argument".to_string());
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.root.is_some() && args.file.is_some() {
+        return Err("ROOT and --file are mutually exclusive".to_string());
+    }
+    if args.lint_as.is_some() && args.file.is_none() {
+        return Err("--as only makes sense with --file".to_string());
+    }
+
+    if let Some(file) = &args.file {
+        // Single-file mode: lint one source with the default rules, under
+        // the identity `--as` gives it (fixtures pose as sim-crate code).
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let rel = args
+            .lint_as
+            .clone()
+            .unwrap_or_else(|| file.to_string_lossy().into_owned());
+        let rules = padlock_lint::rules::Rules::default();
+        let file_report = padlock_lint::rules::lint_source(&rules, &rel, &src);
+        let report = padlock_lint::Report {
+            findings: file_report.findings,
+            audit: file_report.audit,
+            files: 1,
+        };
+        return finish(&args, &report);
+    }
+
+    let root = match args.root.clone() {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            padlock_lint::find_root(&cwd)
+                .ok_or("no lint.toml found here or in any parent directory")?
+        }
+    };
+    let cfg = padlock_lint::load_config(&root)?;
+    let report = padlock_lint::lint_workspace(&root, &cfg)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    finish(&args, &report)
+}
+
+fn finish(args: &Args, report: &padlock_lint::Report) -> Result<bool, String> {
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if args.audit {
+        print!("{}", report.audit_table());
+    }
+    if !args.quiet {
+        println!(
+            "padlock-lint: {} file(s), {} finding(s), {} justified T1 site(s)",
+            report.files,
+            report.findings.len(),
+            report.audit.len()
+        );
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("padlock-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

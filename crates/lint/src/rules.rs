@@ -1,0 +1,635 @@
+//! The rule engine: D1/D2/T1/C1/U1 over a lexed token stream.
+//!
+//! Every rule pattern-matches on significant (non-comment) tokens, so
+//! mentions inside strings, doc comments, and `//` comments never fire.
+//! Escape hatches are `// lint:` annotations on the offending line or
+//! the line directly above it:
+//!
+//! - `// lint: sorted <why>`  — D1: this hash collection is never
+//!   iterated order-dependently (e.g. collected and sorted first).
+//! - `// lint: safety: <why>` — T1: why this `unsafe`/interior-mutability
+//!   site is sound, and what guards it for the future `Sync` audit.
+//! - `// lint: bounded <why>` — C1: why this narrowing cast cannot
+//!   truncate (value bounded by construction).
+//! - `// lint: unwrap <why>`  — U1: why this `unwrap()` cannot panic
+//!   (prefer `expect("…invariant…")`; reserve this for generated or
+//!   perf-critical code).
+
+use crate::lexer::{lex, Tok, Token};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`D1`, `D2`, `T1`, `C1`, `U1`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// One *justified* thread-safety-relevant site (T1), for the audit
+/// table the parallel-executor work will consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    pub path: String,
+    pub line: u32,
+    /// What was found (`unsafe`, `static mut`, `RefCell`, ...).
+    pub what: String,
+    /// The `// lint: safety:` justification text.
+    pub justification: String,
+}
+
+/// Rule parameters resolved from `lint.toml` (with built-in defaults).
+#[derive(Debug, Clone)]
+pub struct Rules {
+    /// Crates whose results must be bit-reproducible (D1 scope).
+    pub sim_crates: Vec<String>,
+    /// Crates allowed to read wall clocks / ambient entropy (D2).
+    pub d2_allow_crates: Vec<String>,
+    /// Identifiers that mark an expression as cycle/counter-typed (C1).
+    pub c1_exact: Vec<String>,
+    /// Identifier suffixes that mark cycle/counter-typed values (C1).
+    pub c1_suffixes: Vec<String>,
+    /// Workspace-relative path prefixes exempt from U1.
+    pub u1_allow_paths: Vec<String>,
+}
+
+impl Default for Rules {
+    fn default() -> Self {
+        Self {
+            sim_crates: ["mem", "cpu", "core", "cache", "crypto"]
+                .map(String::from)
+                .to_vec(),
+            d2_allow_crates: vec!["bench".to_string()],
+            c1_exact: ["cycles", "busy_until", "now", "latency"].map(String::from).to_vec(),
+            c1_suffixes: ["_cycles", "_until", "_at", "_latency"].map(String::from).to_vec(),
+            u1_allow_paths: Vec::new(),
+        }
+    }
+}
+
+impl Rules {
+    /// Overrides defaults with any keys present in the config.
+    pub fn from_config(cfg: &crate::config::Config) -> Self {
+        let mut rules = Self::default();
+        if let Some(v) = cfg.list("lint", "sim_crates") {
+            rules.sim_crates = v.to_vec();
+        }
+        if let Some(v) = cfg.list("d2", "allow_crates") {
+            rules.d2_allow_crates = v.to_vec();
+        }
+        if let Some(v) = cfg.list("c1", "exact") {
+            rules.c1_exact = v.to_vec();
+        }
+        if let Some(v) = cfg.list("c1", "suffixes") {
+            rules.c1_suffixes = v.to_vec();
+        }
+        if let Some(v) = cfg.list("u1", "allow_paths") {
+            rules.u1_allow_paths = v.to_vec();
+        }
+        rules
+    }
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub audit: Vec<AuditEntry>,
+}
+
+/// Lints one source file given its workspace-relative path.
+pub fn lint_source(rules: &Rules, rel_path: &str, src: &str) -> FileReport {
+    let tokens = lex(src);
+    let annotations = Annotations::collect(&tokens);
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.tok, Tok::LineComment(_) | Tok::BlockComment(_)))
+        .collect();
+    let in_test = test_mask(&sig);
+    let crate_name = crate::walk::crate_of(rel_path);
+
+    let mut report = FileReport::default();
+    let ctx = Ctx {
+        rules,
+        rel_path,
+        crate_name,
+        sig: &sig,
+        in_test: &in_test,
+        annotations: &annotations,
+    };
+    rule_d1(&ctx, &mut report);
+    rule_d2(&ctx, &mut report);
+    rule_t1(&ctx, &mut report);
+    rule_c1(&ctx, &mut report);
+    rule_u1(&ctx, &mut report);
+    report
+}
+
+struct Ctx<'a> {
+    rules: &'a Rules,
+    rel_path: &'a str,
+    crate_name: &'a str,
+    sig: &'a [&'a Token],
+    in_test: &'a [bool],
+    annotations: &'a Annotations,
+}
+
+impl Ctx<'_> {
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding { rule, path: self.rel_path.to_string(), line, message }
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        match &self.sig.get(i)?.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, i: usize) -> Option<char> {
+        match self.sig.get(i)?.tok {
+            Tok::Punct(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// `// lint:` annotations by line.
+struct Annotations {
+    by_line: BTreeMap<u32, Vec<String>>,
+}
+
+impl Annotations {
+    fn collect(tokens: &[Token]) -> Self {
+        let mut by_line: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for t in tokens {
+            if let Tok::LineComment(text) = &t.tok {
+                let trimmed = text.trim_start();
+                if let Some(rest) = trimmed.strip_prefix("lint:") {
+                    by_line.entry(t.line).or_default().push(rest.trim().to_string());
+                }
+            }
+        }
+        Self { by_line }
+    }
+
+    /// An annotation whose text starts with `tag`, on `line` or the
+    /// line directly above it.
+    fn get(&self, line: u32, tag: &str) -> Option<&str> {
+        for l in [line, line.saturating_sub(1)] {
+            if let Some(anns) = self.by_line.get(&l) {
+                if let Some(a) = anns.iter().find(|a| a.starts_with(tag)) {
+                    return Some(a);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Marks tokens inside `#[test]` / `#[cfg(test)]` items (attribute
+/// through the matching close brace of the item body).
+fn test_mask(sig: &[&Token]) -> Vec<bool> {
+    let mut mask = vec![false; sig.len()];
+    let mut i = 0;
+    while i < sig.len() {
+        if !is_punct(sig, i, '#') || !is_punct(sig, i + 1, '[') {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(sig, i + 1, '[', ']') else {
+            break;
+        };
+        if is_test_attribute(&sig[i + 2..close]) {
+            if let Some(body_open) = item_body_open(sig, close + 1) {
+                if let Some(body_close) = matching(sig, body_open, '{', '}') {
+                    for m in mask.iter_mut().take(body_close + 1).skip(i) {
+                        *m = true;
+                    }
+                }
+            }
+        }
+        i = close + 1;
+    }
+    mask
+}
+
+fn is_punct(sig: &[&Token], i: usize, c: char) -> bool {
+    matches!(sig.get(i), Some(t) if t.tok == Tok::Punct(c))
+}
+
+/// `test` or `cfg(test)` — but not `cfg(not(test))`.
+fn is_test_attribute(attr: &[&Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .map(|t| match &t.tok {
+            Tok::Ident(s) => s.as_str(),
+            Tok::Punct(c) => match c {
+                '(' => "(",
+                ')' => ")",
+                _ => "",
+            },
+            _ => "",
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    idents == ["test"] || idents.starts_with(&["cfg", "(", "test", ")"])
+}
+
+/// The `{` opening the item body after an attribute, skipping further
+/// attributes; `None` if a `;` ends the item first (e.g. `mod tests;`).
+fn item_body_open(sig: &[&Token], mut i: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < sig.len() {
+        // Skip chained attributes wholesale.
+        if paren == 0 && bracket == 0 && is_punct(sig, i, '#') && is_punct(sig, i + 1, '[') {
+            i = matching(sig, i + 1, '[', ']')? + 1;
+            continue;
+        }
+        match sig[i].tok {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren -= 1,
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket -= 1,
+            Tok::Punct('{') if paren == 0 && bracket == 0 => return Some(i),
+            Tok::Punct(';') if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the delimiter closing the one at `open`.
+fn matching(sig: &[&Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in sig.iter().enumerate().skip(open) {
+        if t.tok == Tok::Punct(open_c) {
+            depth += 1;
+        } else if t.tok == Tok::Punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// D1 — hash-order determinism: no `HashMap`/`HashSet` in simulation
+/// crates without a `// lint: sorted` justification. Applies to test
+/// code too: a test asserting on hash iteration order is flaky.
+fn rule_d1(ctx: &Ctx, report: &mut FileReport) {
+    if !ctx.rules.sim_crates.iter().any(|c| c == ctx.crate_name) {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        let Some(name) = ctx.ident(i) else { continue };
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        let line = ctx.sig[i].line;
+        if ctx.annotations.get(line, "sorted").is_some() {
+            continue;
+        }
+        report.findings.push(ctx.finding(
+            "D1",
+            line,
+            format!(
+                "{name} in simulation crate `{}`: iteration order is \
+                 nondeterministic; use BTreeMap/BTreeSet, or sort before \
+                 iterating and justify with `// lint: sorted <why>`",
+                ctx.crate_name
+            ),
+        ));
+    }
+}
+
+/// D2 — no wall clocks or ambient randomness outside bench/vendor
+/// (non-test code only; tests may seed from entropy).
+fn rule_d2(ctx: &Ctx, report: &mut FileReport) {
+    if ctx.rules.d2_allow_crates.iter().any(|c| c == ctx.crate_name) {
+        return;
+    }
+    const BANNED: [&str; 4] = ["Instant", "SystemTime", "thread_rng", "from_entropy"];
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(name) = ctx.ident(i) else { continue };
+        if !BANNED.contains(&name) {
+            continue;
+        }
+        report.findings.push(ctx.finding(
+            "D2",
+            ctx.sig[i].line,
+            format!(
+                "`{name}` is wall-clock/ambient-entropy state: simulation \
+                 results must be a pure function of config + seed; inject a \
+                 seeded Rng or take cycles from the simulated clock"
+            ),
+        ));
+    }
+}
+
+/// T1 — `Sync` audit: every `unsafe`, `static mut`, or
+/// interior-mutability/non-`Sync` type in non-test code must carry a
+/// `// lint: safety:` justification; justified sites feed the audit
+/// table.
+fn rule_t1(ctx: &Ctx, report: &mut FileReport) {
+    const NON_SYNC: [&str; 6] = ["RefCell", "Cell", "UnsafeCell", "OnceCell", "LazyCell", "Rc"];
+    let mut i = 0;
+    while i < ctx.sig.len() {
+        if ctx.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let what = match ctx.ident(i) {
+            Some("unsafe") => Some("unsafe".to_string()),
+            Some("static") if ctx.ident(i + 1) == Some("mut") => Some("static mut".to_string()),
+            Some(name) if NON_SYNC.contains(&name) => Some(name.to_string()),
+            _ => None,
+        };
+        let Some(what) = what else {
+            i += 1;
+            continue;
+        };
+        let line = ctx.sig[i].line;
+        match ctx.annotations.get(line, "safety:") {
+            Some(ann) => report.audit.push(AuditEntry {
+                path: ctx.rel_path.to_string(),
+                line,
+                what: what.clone(),
+                justification: ann["safety:".len()..].trim().to_string(),
+            }),
+            None => report.findings.push(ctx.finding(
+                "T1",
+                line,
+                format!(
+                    "`{what}` without a `// lint: safety: <why>` justification: \
+                     the parallel executor needs every non-Sync / unsafe site \
+                     accounted for"
+                ),
+            )),
+        }
+        i += if what == "static mut" { 2 } else { 1 };
+    }
+}
+
+/// C1 — no lossy `as` narrowing of cycle/counter-typed expressions:
+/// `u64` cycle math squeezed into `u32`/`usize`/... silently wraps on
+/// long runs. Require `try_into()` or `// lint: bounded`.
+fn rule_c1(ctx: &Ctx, report: &mut FileReport) {
+    const NARROW: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "isize", "usize"];
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if ctx.ident(i) != Some("as") {
+            continue;
+        }
+        let Some(target) = ctx.ident(i + 1) else { continue };
+        if !NARROW.contains(&target) {
+            continue;
+        }
+        let Some(needle) = counter_needle_before(ctx, i) else {
+            continue;
+        };
+        let line = ctx.sig[i].line;
+        if ctx.annotations.get(line, "bounded").is_some() {
+            continue;
+        }
+        report.findings.push(ctx.finding(
+            "C1",
+            line,
+            format!(
+                "`as {target}` narrows a cycle/counter-typed expression \
+                 (`{needle}`): silently wraps on long simulations; use \
+                 `try_into()` or justify with `// lint: bounded <why>`"
+            ),
+        ));
+    }
+}
+
+/// Scans the expression tail preceding `as` for a cycle/counter-typed
+/// identifier. Walks backwards at most 24 tokens, balancing closers and
+/// stopping at an expression boundary.
+fn counter_needle_before(ctx: &Ctx, as_idx: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut j = as_idx;
+    for _ in 0..24 {
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+        match &ctx.sig[j].tok {
+            Tok::Punct(')') | Tok::Punct(']') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') | Tok::Punct('=')
+            | Tok::Punct(',')
+                if depth == 0 =>
+            {
+                break;
+            }
+            Tok::Ident(name)
+                if ctx.rules.c1_exact.iter().any(|e| e == name)
+                    || ctx.rules.c1_suffixes.iter().any(|s| name.ends_with(s.as_str())) =>
+            {
+                return Some(name.clone());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// U1 — no bare `.unwrap()` in library (under `src/`) non-test code:
+/// a panic must name the violated invariant (`expect`), or justify
+/// itself with `// lint: unwrap <why>`.
+fn rule_u1(ctx: &Ctx, report: &mut FileReport) {
+    let in_src = ctx.rel_path.starts_with("src/") || ctx.rel_path.contains("/src/");
+    if !in_src {
+        return;
+    }
+    if ctx
+        .rules
+        .u1_allow_paths
+        .iter()
+        .any(|p| ctx.rel_path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if ctx.punct(i) != Some('.')
+            || ctx.ident(i + 1) != Some("unwrap")
+            || ctx.punct(i + 2) != Some('(')
+            || ctx.punct(i + 3) != Some(')')
+        {
+            continue;
+        }
+        let line = ctx.sig[i].line;
+        if ctx.annotations.get(line, "unwrap").is_some() {
+            continue;
+        }
+        report.findings.push(ctx.finding(
+            "U1",
+            line,
+            "bare `.unwrap()` in library code: replace with \
+             `expect(\"…invariant…\")` naming the invariant that makes the \
+             value present, or justify with `// lint: unwrap <why>`"
+                .to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> FileReport {
+        lint_source(&Rules::default(), path, src)
+    }
+
+    fn rules_of(report: &FileReport) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn d1_fires_in_sim_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of(&lint("crates/mem/src/x.rs", src)), vec!["D1"]);
+        assert!(rules_of(&lint("crates/workloads/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn d1_accepts_sorted_annotation() {
+        let src = "// lint: sorted keys collected and sorted before iteration\n\
+                   use std::collections::HashMap;\n";
+        assert!(rules_of(&lint("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn d1_ignores_comments_and_strings() {
+        let src = "// HashMap in prose\nconst S: &str = \"HashMap\";\n";
+        assert!(rules_of(&lint("crates/mem/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn d2_fires_outside_tests_and_bench() {
+        let src = "fn t() { let x = Instant::now(); }\n";
+        assert_eq!(rules_of(&lint("crates/cpu/src/x.rs", src)), vec!["D2"]);
+        assert!(rules_of(&lint("crates/bench/src/x.rs", src)).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n fn t() { let r = thread_rng(); }\n}\n";
+        assert!(rules_of(&lint("crates/crypto/src/x.rs", test_src)).is_empty());
+    }
+
+    #[test]
+    fn d2_is_not_fooled_by_cfg_not_test() {
+        let src = "#[cfg(not(test))]\nfn t() { let x = SystemTime::now(); }\n";
+        assert_eq!(rules_of(&lint("crates/mem/src/x.rs", src)), vec!["D2"]);
+    }
+
+    #[test]
+    fn t1_requires_safety_annotation() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(rules_of(&lint("crates/mem/src/x.rs", bad)), vec!["T1"]);
+        let good = "fn f(p: *const u8) -> u8 {\n    // lint: safety: caller upholds validity; single-threaded\n    unsafe { *p }\n}\n";
+        let report = lint("crates/mem/src/x.rs", good);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.audit.len(), 1);
+        assert_eq!(report.audit[0].what, "unsafe");
+        assert!(report.audit[0].justification.contains("caller upholds"));
+    }
+
+    #[test]
+    fn t1_covers_static_mut_and_interior_mutability() {
+        let src = "static mut COUNTER: u64 = 0;\nstruct S { c: RefCell<u32> }\n";
+        let report = lint("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&report), vec!["T1", "T1"]);
+        assert!(report.findings[0].message.contains("static mut"));
+        assert!(report.findings[1].message.contains("RefCell"));
+    }
+
+    #[test]
+    fn c1_fires_on_cycle_narrowing() {
+        let src = "fn f(busy_until: u64) -> u32 { (busy_until - 1) as u32 }\n";
+        assert_eq!(rules_of(&lint("crates/mem/src/x.rs", src)), vec!["C1"]);
+        let src = "fn f(total_cycles: u64) -> usize { total_cycles as usize }\n";
+        assert_eq!(rules_of(&lint("crates/mem/src/x.rs", src)), vec!["C1"]);
+    }
+
+    #[test]
+    fn c1_allows_widening_bounded_and_unrelated() {
+        // Widening u32 -> u64 is fine.
+        let src = "fn f(hit_cycles: u32) -> u64 { hit_cycles as u64 }\n";
+        assert!(rules_of(&lint("crates/mem/src/x.rs", src)).is_empty());
+        // Non-counter expressions narrow freely.
+        let src = "fn f(idx: u64) -> usize { idx as usize }\n";
+        assert!(rules_of(&lint("crates/mem/src/x.rs", src)).is_empty());
+        // Annotated sites pass.
+        let src = "fn f(ready_at: u64) -> usize {\n    // lint: bounded rob slot index < rob_size\n    (ready_at % 8) as usize\n}\n";
+        assert!(rules_of(&lint("crates/cpu/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn c1_expression_boundary_stops_backscan() {
+        // The counter ident is in a *previous* statement.
+        let src = "fn f(cycles: u64, n: u64) -> usize { let c = cycles; n as usize }\n";
+        assert!(rules_of(&lint("crates/mem/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn u1_fires_only_under_src_non_test() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        assert_eq!(rules_of(&lint("crates/mem/src/x.rs", src)), vec!["U1"]);
+        assert!(rules_of(&lint("crates/mem/tests/t.rs", src)).is_empty());
+        assert!(rules_of(&lint("examples/e.rs", src)).is_empty());
+        let test_src = "#[test]\nfn t() { Some(1).unwrap(); }\n";
+        assert!(rules_of(&lint("crates/mem/src/x.rs", test_src)).is_empty());
+    }
+
+    #[test]
+    fn u1_ignores_unwrap_or_family_and_expect() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) + v.unwrap_or_default() }\n\
+                   fn g(v: Option<u8>) -> u8 { v.expect(\"set at init\") }\n";
+        assert!(rules_of(&lint("crates/mem/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn annotations_attach_to_same_or_previous_line() {
+        let same = "fn f(v: Option<u8>) -> u8 { v.unwrap() } // lint: unwrap checked above\n";
+        assert!(rules_of(&lint("crates/mem/src/x.rs", same)).is_empty());
+        let prev = "fn f(v: Option<u8>) -> u8 {\n    // lint: unwrap checked above\n    v.unwrap()\n}\n";
+        assert!(rules_of(&lint("crates/mem/src/x.rs", prev)).is_empty());
+        let far = "fn f(v: Option<u8>) -> u8 {\n    // lint: unwrap checked above\n\n\n    v.unwrap()\n}\n";
+        assert_eq!(rules_of(&lint("crates/mem/src/x.rs", far)), vec!["U1"]);
+    }
+
+    #[test]
+    fn findings_carry_path_line_and_render() {
+        let report = lint("crates/mem/src/x.rs", "\n\nuse std::collections::HashSet;\n");
+        assert_eq!(report.findings[0].line, 3);
+        let rendered = report.findings[0].to_string();
+        assert!(rendered.starts_with("crates/mem/src/x.rs:3: [D1]"), "{rendered}");
+    }
+}

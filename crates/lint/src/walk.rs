@@ -1,0 +1,69 @@
+//! Deterministic workspace traversal.
+//!
+//! Collects every `.rs` file under a root, skipping configured
+//! directory names (`target`, `vendor`, the lint's own `fixtures`).
+//! Entries are visited in sorted order so findings, exit codes, and
+//! audit tables are byte-identical run to run — the lint holds itself
+//! to the determinism bar it enforces.
+
+use std::path::{Path, PathBuf};
+
+/// Recursively collects `.rs` files under `root`, in sorted relative
+/// order, skipping any directory whose *name* is in `skip_dirs`.
+pub fn rust_sources(root: &Path, skip_dirs: &[String]) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, skip_dirs, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, skip_dirs: &[String], out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if skip_dirs.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, skip_dirs, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The crate a workspace-relative path belongs to: `crates/mem/...` is
+/// `mem`, `vendor/rand/...` is `rand`, anything else (root `src/`,
+/// `tests/`, `examples/`) is the facade crate `padlock`.
+pub fn crate_of(rel_path: &str) -> &str {
+    for prefix in ["crates/", "vendor/"] {
+        if let Some(rest) = rel_path.strip_prefix(prefix) {
+            if let Some((name, _)) = rest.split_once('/') {
+                return name;
+            }
+        }
+    }
+    "padlock"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/mem/src/sparse.rs"), "mem");
+        assert_eq!(crate_of("crates/core/tests/engine_vs_seed.rs"), "core");
+        assert_eq!(crate_of("vendor/rand/src/lib.rs"), "rand");
+        assert_eq!(crate_of("src/lib.rs"), "padlock");
+        assert_eq!(crate_of("tests/security_model.rs"), "padlock");
+        assert_eq!(crate_of("examples/quickstart.rs"), "padlock");
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end CLI tests: the acceptance gate is the *binary*'s exit
+//! code (0 on the clean workspace, nonzero on every bad fixture), so
+//! exercise the compiled `padlock-lint` itself rather than the library.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_padlock-lint"))
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn exits_zero_on_the_workspace() {
+    let out = bin()
+        .arg(workspace_root())
+        .output()
+        .expect("padlock-lint binary runs");
+    assert!(
+        out.status.success(),
+        "workspace must lint clean; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 finding(s)"), "summary line present: {stdout}");
+}
+
+#[test]
+fn exits_nonzero_on_each_bad_fixture() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut saw = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&fixtures)
+        .expect("fixtures dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+        if !name.starts_with("bad_") || !name.ends_with(".rs") {
+            continue;
+        }
+        // `--as` makes the fixture pose as sim-crate library code so the
+        // crate-scoped rules (D1, U1) apply to it.
+        let out = bin()
+            .arg("--file")
+            .arg(&path)
+            .args(["--as", "crates/mem/src/fixture.rs"])
+            .output()
+            .expect("padlock-lint binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name} must exit 1; stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        saw += 1;
+    }
+    assert!(saw >= 5, "expected one bad fixture per rule, found {saw}");
+}
+
+#[test]
+fn exits_zero_on_good_fixtures() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut entries: Vec<_> = std::fs::read_dir(&fixtures)
+        .expect("fixtures dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+        if !name.starts_with("good_") || !name.ends_with(".rs") {
+            continue;
+        }
+        let out = bin()
+            .arg("--file")
+            .arg(&path)
+            .args(["--as", "crates/mem/src/fixture.rs"])
+            .output()
+            .expect("padlock-lint binary runs");
+        assert!(
+            out.status.success(),
+            "{name} must exit 0; stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn exits_two_on_usage_errors() {
+    let out = bin().arg("--no-such-flag").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["--as", "crates/mem/src/x.rs"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "--as without --file is a usage error");
+}

@@ -1,0 +1,64 @@
+//! The meta-test: the workspace must lint clean with its own checked-in
+//! `lint.toml`. This is the tier-1 enforcement of the determinism &
+//! thread-safety audit — `cargo test` fails the moment anyone
+//! reintroduces a HashMap into a simulation crate, reads a wall clock,
+//! or lands an unjustified `unsafe`.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    assert!(root.join("lint.toml").is_file(), "lint.toml at the workspace root");
+    root
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = workspace_root();
+    let cfg = padlock_lint::load_config(root).expect("lint.toml parses");
+    let report = padlock_lint::lint_workspace(root, &cfg).expect("workspace walk succeeds");
+    assert!(
+        report.is_clean(),
+        "padlock-lint found {} violation(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the workspace (sim crates,
+    // tests, examples), not an empty or wrong directory.
+    assert!(report.files > 60, "walked only {} files", report.files);
+}
+
+#[test]
+fn workspace_walk_skips_vendor_and_fixtures() {
+    let root = workspace_root();
+    let cfg = padlock_lint::load_config(root).expect("lint.toml parses");
+    let skip = cfg.list_or_empty("lint", "skip_dirs");
+    let files = padlock_lint::walk::rust_sources(root, &skip).expect("walk");
+    for f in &files {
+        let rel = f.strip_prefix(root).expect("under root").to_string_lossy().into_owned();
+        assert!(!rel.starts_with("vendor/"), "vendor shims must not be linted: {rel}");
+        assert!(!rel.contains("/fixtures/"), "fixtures must not be linted: {rel}");
+        assert!(!rel.starts_with("target/"), "build artifacts must not be linted: {rel}");
+    }
+}
+
+#[test]
+fn audit_table_renders_deterministically() {
+    let root = workspace_root();
+    let cfg = padlock_lint::load_config(root).expect("lint.toml parses");
+    let a = padlock_lint::lint_workspace(root, &cfg).expect("walk");
+    let b = padlock_lint::lint_workspace(root, &cfg).expect("walk");
+    assert_eq!(a.audit_table(), b.audit_table());
+    assert_eq!(
+        a.findings, b.findings,
+        "the lint must hold itself to the determinism bar it enforces"
+    );
+}

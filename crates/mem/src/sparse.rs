@@ -4,7 +4,7 @@
 //! the functional security layer and the tiny-ISA VM. Pages materialise on
 //! first touch, so a 48-bit address space costs only what is used.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
@@ -27,7 +27,9 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    // BTreeMap, not HashMap: padlock-lint rule D1 — page iteration
+    // order must be deterministic for the parallel sweep executor.
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl SparseMemory {

@@ -14,9 +14,12 @@
 use padlock_core::vendor::{ProcessorIdentity, SecureLoader, SegmentKind, Vendor};
 use padlock_core::IntegrityMode;
 use padlock_isa::{assemble, Vm};
+use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
-    let mut rng = rand::thread_rng();
+    // Seeded, not thread_rng (padlock-lint D2): the demo's output
+    // should be reproducible run to run.
+    let mut rng = StdRng::seed_from_u64(0xFAB0_0001);
 
     // Two processors roll off the fab line with distinct burned-in keys.
     let cpu_a = ProcessorIdentity::generate(0xA, &mut rng);

@@ -9,9 +9,12 @@ use padlock_core::compartment::{CompartmentManager, XomId};
 use padlock_core::vendor::{ProcessorIdentity, SecureLoader, SegmentKind, Vendor};
 use padlock_core::IntegrityMode;
 use padlock_isa::{assemble, Vm};
+use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
-    let mut rng = rand::thread_rng();
+    // Seeded, not thread_rng (padlock-lint D2): the demo's output
+    // should be reproducible run to run.
+    let mut rng = StdRng::seed_from_u64(0x5EC0_0001);
     let cpu = ProcessorIdentity::generate(0xCAFE, &mut rng);
 
     // A program that builds a table of squares in writable data memory,
