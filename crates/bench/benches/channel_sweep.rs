@@ -3,10 +3,13 @@
 //! trace across the `mem_channels` and `mem_banks` axes (the
 //! simulated-cycle speedup tables themselves are printed by
 //! `repro --mlp` / `repro --mlp --banks` and regression-tested in
-//! `padlock_bench::mlp`).
+//! `padlock_bench::mlp`), plus the `sweep` group timing a whole grid
+//! through the work-stealing pool serially vs at `PADLOCK_JOBS`
+//! workers — the pair whose ratio is the executor's speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use padlock_bench::{run_e2e_point, run_mlp_point, E2eTrace};
+use padlock_bench::{run_e2e_point, run_mlp_point, E2eParams, E2eTrace};
+use padlock_exec::SweepPool;
 use padlock_mem::{DrainOrder, PagePolicy};
 
 fn channel_sweep(c: &mut Criterion) {
@@ -52,9 +55,7 @@ fn channel_sweep(c: &mut Criterion) {
             BenchmarkId::new("e2e", format!("{channels}ch")),
             &channels,
             |b, &channels| {
-                b.iter(|| {
-                    run_e2e_point(&trace, 8, channels, 1, 32, DrainOrder::Fifo, PagePolicy::Open)
-                })
+                b.iter(|| run_e2e_point(&trace, E2eParams::new(8, channels, 1, 32)))
             },
         );
     }
@@ -63,9 +64,7 @@ fn channel_sweep(c: &mut Criterion) {
             BenchmarkId::new("e2e", format!("4ch{banks}bk")),
             &banks,
             |b, &banks| {
-                b.iter(|| {
-                    run_e2e_point(&trace, 8, 4, banks, 32, DrainOrder::Fifo, PagePolicy::Open)
-                })
+                b.iter(|| run_e2e_point(&trace, E2eParams::new(8, 4, banks, 32)))
             },
         );
     }
@@ -74,7 +73,10 @@ fn channel_sweep(c: &mut Criterion) {
         &8usize,
         |b, &banks| {
             b.iter(|| {
-                run_e2e_point(&trace, 8, 4, banks, 32, DrainOrder::RowFirst, PagePolicy::Open)
+                run_e2e_point(
+                    &trace,
+                    E2eParams::new(8, 4, banks, 32).with_order(DrainOrder::RowFirst),
+                )
             })
         },
     );
@@ -83,7 +85,7 @@ fn channel_sweep(c: &mut Criterion) {
         BenchmarkId::new("e2e_rstride", "4ch4bk"),
         &4usize,
         |b, &banks| {
-            b.iter(|| run_e2e_point(&rstride, 8, 4, banks, 32, DrainOrder::Fifo, PagePolicy::Open))
+            b.iter(|| run_e2e_point(&rstride, E2eParams::new(8, 4, banks, 32)))
         },
     );
     // Closed-page auto-precharge on the conflict-bound walk: the page
@@ -93,12 +95,47 @@ fn channel_sweep(c: &mut Criterion) {
         &4usize,
         |b, &banks| {
             b.iter(|| {
-                run_e2e_point(&rstride, 8, 4, banks, 32, DrainOrder::Fifo, PagePolicy::Closed)
+                run_e2e_point(
+                    &rstride,
+                    E2eParams::new(8, 4, banks, 32).with_page(PagePolicy::Closed),
+                )
             })
         },
     );
     g.finish();
 }
 
-criterion_group!(benches, channel_sweep);
+/// The executor's headline pair: the same 12-cell engine grid swept
+/// serially and through `PADLOCK_JOBS` workers. Both produce identical
+/// results (the determinism suite asserts it); the wall-time ratio in
+/// the captured baseline is the pool's speedup on this host.
+fn sweep_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    let lines = 1_024;
+    let cells: Vec<(usize, usize)> = [4usize, 8, 16, 32]
+        .iter()
+        .flat_map(|&inflight| [1usize, 2, 4].map(move |channels| (inflight, channels)))
+        .collect();
+    let grid = |pool: &SweepPool| {
+        pool.sweep(&cells, |&(inflight, channels)| {
+            run_mlp_point(
+                inflight,
+                channels,
+                channels,
+                1,
+                DrainOrder::Fifo,
+                PagePolicy::Open,
+                lines,
+            )
+        })
+    };
+    let serial = SweepPool::serial();
+    g.bench_function("mlp_grid_serial", |b| b.iter(|| grid(&serial)));
+    let pooled = SweepPool::from_env();
+    g.bench_function("mlp_grid_jobs", |b| b.iter(|| grid(&pooled)));
+    g.finish();
+}
+
+criterion_group!(benches, channel_sweep, sweep_pool);
 criterion_main!(benches);

@@ -20,6 +20,12 @@
 //! CI timing is noisy — the threshold guards against step-function
 //! regressions (an accidentally quadratic drain, a lost memoisation),
 //! not single-digit-percent drift.
+//!
+//! `__walltime__/…` records (one per bench binary, appended by the
+//! shim's `criterion_main!`) are not benchmarks: they are excluded from
+//! the verdicts and instead summed and printed as each capture's total
+//! wall-clock, so the baseline files double as a record of how long a
+//! capture takes on their host.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -76,6 +82,31 @@ fn load(path: &Path) -> Result<BTreeMap<String, Record>, String> {
         out.insert(id.clone(), Record { id, median_ns });
     }
     Ok(out)
+}
+
+/// Ids under this prefix carry per-binary capture wall-clock, not
+/// benchmark medians.
+const WALLTIME_PREFIX: &str = "__walltime__/";
+
+/// Removes the `__walltime__/…` records from a capture and returns
+/// their summed wall-clock in seconds — `None` when the capture
+/// predates walltime recording.
+fn take_walltime(map: &mut BTreeMap<String, Record>) -> Option<f64> {
+    let ids: Vec<String> = map
+        .keys()
+        .filter(|id| id.starts_with(WALLTIME_PREFIX))
+        .cloned()
+        .collect();
+    if ids.is_empty() {
+        return None;
+    }
+    let mut total_ns = 0.0;
+    for id in ids {
+        if let Some(rec) = map.remove(&id) {
+            total_ns += rec.median_ns;
+        }
+    }
+    Some(total_ns / 1e9)
 }
 
 /// How one bench fared against the reference.
@@ -176,20 +207,22 @@ fn main() -> ExitCode {
         })
         .unwrap_or(0.5);
 
-    let reference_map = match load(Path::new(reference)) {
+    let mut reference_map = match load(Path::new(reference)) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("baseline_diff: {e}");
             return ExitCode::from(2);
         }
     };
-    let current_map = match load(Path::new(current)) {
+    let mut current_map = match load(Path::new(current)) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("baseline_diff: {e}");
             return ExitCode::from(2);
         }
     };
+    let reference_walltime = take_walltime(&mut reference_map);
+    let current_walltime = take_walltime(&mut current_map);
 
     let result = compare(&reference_map, &current_map, threshold);
     for (id, verdict, delta) in &result.rows {
@@ -216,6 +249,15 @@ fn main() -> ExitCode {
         threshold * 100.0,
         result.missing,
         result.new,
+    );
+    let walltime = |w: Option<f64>| match w {
+        Some(secs) => format!("{secs:.2}s"),
+        None => "not recorded".to_string(),
+    };
+    println!(
+        "capture wall-clock: reference {}, current {}",
+        walltime(reference_walltime),
+        walltime(current_walltime),
     );
     if result.failed() {
         ExitCode::FAILURE
@@ -291,6 +333,27 @@ mod tests {
             .any(|(id, v, _)| id == "fresh" && *v == Verdict::New));
         let only_new = compare(&map(&[rec("a", 100.0)]), &current, 0.5);
         assert!(!only_new.failed());
+    }
+
+    #[test]
+    fn walltime_records_are_summed_and_never_compared() {
+        let mut capture = map(&[
+            rec("a", 100.0),
+            rec("__walltime__/channel_sweep", 2.0e9),
+            rec("__walltime__/mlp_sweep", 5.0e8),
+        ]);
+        let secs = take_walltime(&mut capture).expect("walltime present");
+        assert!((secs - 2.5).abs() < 1e-9);
+        assert_eq!(capture.len(), 1, "only real benches remain");
+        // A pre-walltime capture: nothing to strip, nothing to report.
+        let mut old = map(&[rec("a", 100.0)]);
+        assert_eq!(take_walltime(&mut old), None);
+        assert_eq!(old.len(), 1);
+        // Stripped maps compare cleanly even when only one side had
+        // walltime records — they can never show up MISSING or NEW.
+        let c = compare(&old, &capture, 0.5);
+        assert!(!c.failed());
+        assert_eq!(c.new, 0);
     }
 
     #[test]

@@ -8,11 +8,19 @@
 //! repro --mlp            # engine + end-to-end MLP speedup tables
 //! repro --mlp --channels 1,2,4 --mshrs 1,4,8   # custom sweep axes
 //! repro --mlp --banks 1,2,4,8   # add the DRAM-bank / row-buffer sweep
+//! repro --jobs 8         # fan every sweep across 8 workers
 //! ```
+//!
+//! Every sweep fans across a work-stealing [`SweepPool`]; results are
+//! reassembled in submission order, so all tables and JSON lines on
+//! stdout are byte-identical for any `--jobs` value (timing
+//! diagnostics go to stderr).
 
-use padlock_bench::{E2eTrace, Lab, RunScale};
+use padlock_bench::{E2eTrace, Lab, MachineKind, RunScale};
+use padlock_exec::SweepPool;
 use padlock_mem::{DrainOrder, PagePolicy, ROW_LINES};
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Args {
     figure: Option<u32>,
@@ -27,6 +35,17 @@ struct Args {
     order: DrainOrder,
     page: PagePolicy,
     trace: String,
+    jobs: Option<usize>,
+    idle_drain: bool,
+    jsonl: Option<PathBuf>,
+}
+
+impl Args {
+    /// The sweep pool every table builder fans across: `--jobs N` if
+    /// given, else `PADLOCK_JOBS`, else the host's available cores.
+    fn pool(&self) -> SweepPool {
+        self.jobs.map_or_else(SweepPool::from_env, SweepPool::new)
+    }
 }
 
 fn parse_axis(flag: &str, value: &str) -> Vec<usize> {
@@ -81,6 +100,9 @@ fn parse_args() -> Args {
         order: DrainOrder::Fifo,
         page: PagePolicy::Open,
         trace: "bfs".to_string(),
+        jobs: None,
+        idle_drain: false,
+        jsonl: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -100,11 +122,17 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--calibrate [--snc]]\n\
+                    "usage: repro [--figure N] [--quick|--smoke] [--csv DIR] [--jobs N]\n\
+                     \x20      [--calibrate [--snc]]\n\
                      \x20      [--mlp [--channels A,B,..] [--mshrs A,B,..] [--banks A,B,..]\n\
-                     \x20       [--order fifo|row-first] [--page open|closed] [--trace BENCH]]\n\
+                     \x20       [--order fifo|row-first] [--page open|closed] [--idle-drain]\n\
+                     \x20       [--trace BENCH] [--jsonl FILE]]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
                      Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
+                     --jobs fans every sweep across N worker threads (default:\n\
+                     PADLOCK_JOBS or all cores; results are byte-identical to\n\
+                     --jobs 1 — points run in any order but reassemble in\n\
+                     submission order).\n\
                      --calibrate prints per-benchmark CPI/miss diagnostics instead;\n\
                      add --snc for SNC hit/miss/spill rates.\n\
                      --mlp sweeps the transaction engine's inflight x shards x channels\n\
@@ -117,12 +145,16 @@ fn parse_args() -> Args {
                      row-buffer timing (values must divide the 16-line row),\n\
                      comparing the chosen trace against the row-conflict-bound\n\
                      rstride walk and printing the fifo vs row-first\n\
-                     row-hit-delta table; --order picks the drain scheduler's\n\
-                     issue order (fifo = arrival order, row-first = FR-FCFS\n\
-                     grouping of same-row misses); --page picks the bank page\n\
-                     policy (open rows vs closed-page auto-precharge);\n\
+                     row-hit-delta table plus the idle-drain on/off delta;\n\
+                     --order picks the drain scheduler's issue order (fifo =\n\
+                     arrival order, row-first = FR-FCFS grouping of same-row\n\
+                     misses); --page picks the bank page policy (open rows vs\n\
+                     closed-page auto-precharge); --idle-drain enables the\n\
+                     idle-keyed MSHR drain trigger on every sweep cell;\n\
                      --trace picks the recorded benchmark (default bfs, the\n\
-                     miss-heavy graph-traversal workload)."
+                     miss-heavy graph-traversal workload); --jsonl streams the\n\
+                     bank-sweep grid points as JSON lines to FILE (requires\n\
+                     --banks)."
                 );
                 std::process::exit(0);
             }
@@ -140,6 +172,21 @@ fn parse_args() -> Args {
             "--banks" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--banks needs counts"));
                 args.banks = Some(parse_banks_axis(&v));
+            }
+            "--jobs" | "-j" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--jobs needs a worker count"));
+                let jobs: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("--jobs expects a number, got {v:?}")));
+                if jobs == 0 {
+                    usage_error("--jobs needs a positive worker count (use 1 for serial)");
+                }
+                args.jobs = Some(jobs);
+            }
+            "--idle-drain" => args.idle_drain = true,
+            "--jsonl" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--jsonl needs a file path"));
+                args.jsonl = Some(PathBuf::from(v));
             }
             "--order" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--order needs a policy"));
@@ -183,11 +230,13 @@ fn parse_args() -> Args {
     if args.snc && !args.calibrate {
         usage_error("--snc requires --calibrate");
     }
+    if args.jsonl.is_some() && args.banks.is_none() {
+        usage_error("--jsonl streams the bank-sweep grid and requires --banks");
+    }
     args
 }
 
 fn calibrate(lab: &mut Lab) {
-    use padlock_bench::MachineKind;
     println!("bench     cpi    l2miss/ki  wb/ki   mispred%");
     for b in [
         "ammp", "art", "bzip2", "equake", "gcc", "gzip", "mcf", "mesa", "parser", "vortex", "vpr",
@@ -205,7 +254,7 @@ fn calibrate(lab: &mut Lab) {
     }
 }
 
-fn snc_diag(lab: &mut Lab, kind: padlock_bench::MachineKind) {
+fn snc_diag(lab: &mut Lab, kind: MachineKind) {
     println!("\nSNC diagnostics for {kind}:");
     println!("bench     qhit/ki  qmiss/ki  uhit/ki  umiss/ki  inst/ki  spill/ki");
     for b in [
@@ -227,7 +276,7 @@ fn snc_diag(lab: &mut Lab, kind: padlock_bench::MachineKind) {
     }
 }
 
-fn mlp(args: &Args) {
+fn mlp(args: &Args, pool: &SweepPool) {
     let lines = match args.scale {
         RunScale::Smoke => 1_024,
         RunScale::Quick => 4_096,
@@ -242,7 +291,7 @@ fn mlp(args: &Args) {
         padlock_bench::mlp::SWEEP_SNC_PORT_CYCLES
     );
     let table =
-        padlock_bench::mlp_table(&[1, 2, 4, 8, 16, 32], &[1, 2, 4], &args.channels, lines);
+        padlock_bench::mlp_table(pool, &[1, 2, 4, 8, 16, 32], &[1, 2, 4], &args.channels, lines);
     println!("{}", table.render_text());
 
     let (warmup, measure) = args.scale.window();
@@ -261,8 +310,15 @@ fn mlp(args: &Args) {
         args.order, args.page
     );
     let trace = E2eTrace::record(&args.trace, warmup, measure);
-    let table =
-        padlock_bench::e2e_table(&trace, &args.mshrs, &args.channels, args.order, args.page);
+    let table = padlock_bench::e2e_table(
+        pool,
+        &trace,
+        &args.mshrs,
+        &args.channels,
+        args.order,
+        args.page,
+        args.idle_drain,
+    );
     println!("{}", table.render_text());
 
     if let Some(bank_axis) = &args.banks {
@@ -292,13 +348,27 @@ fn mlp(args: &Args) {
             rstride = E2eTrace::record("rstride", warmup, measure);
             traces = vec![&trace, &rstride];
         }
-        // Each (banks, trace, order) machine is simulated exactly once:
-        // the grid of the selected order feeds the bank table and one
-        // side of the delta table; only the other order runs fresh.
-        let selected =
-            padlock_bench::banked_grid(&traces, bank_axis, channels, args.order, args.page);
+        // Each (banks, trace, order, idle) machine is simulated exactly
+        // once: the grid of the selected knobs feeds the bank table and
+        // one side of each delta table; only the other drain order and
+        // the flipped idle-drain setting run fresh.
+        let selected = padlock_bench::banked_grid(
+            pool,
+            &traces,
+            bank_axis,
+            channels,
+            args.order,
+            args.page,
+            args.idle_drain,
+        );
         let table = padlock_bench::bank_table_from(&traces, bank_axis, &selected);
         println!("{}", table.render_text());
+
+        if let Some(path) = &args.jsonl {
+            std::fs::write(path, padlock_bench::grid_jsonl(&traces, &selected))
+                .expect("write jsonl");
+            println!("(jsonl written to {})", path.display());
+        }
 
         println!(
             "\n== FR-FCFS row-hit delta — fifo vs row-first drains on the same machines =="
@@ -312,30 +382,81 @@ fn mlp(args: &Args) {
             DrainOrder::Fifo => DrainOrder::RowFirst,
             DrainOrder::RowFirst => DrainOrder::Fifo,
         };
-        let other =
-            padlock_bench::banked_grid(&traces, bank_axis, channels, other_order, args.page);
+        let other = padlock_bench::banked_grid(
+            pool,
+            &traces,
+            bank_axis,
+            channels,
+            other_order,
+            args.page,
+            args.idle_drain,
+        );
         let (fifo, rowf) = match args.order {
             DrainOrder::Fifo => (&selected, &other),
             DrainOrder::RowFirst => (&other, &selected),
         };
         let table = padlock_bench::order_delta_table_from(&traces, bank_axis, fifo, rowf);
         println!("{}", table.render_text());
+
+        println!(
+            "\n== Idle-drain delta — drain_on_idle off vs on on the same machines =="
+        );
+        println!(
+            "(the idle-keyed MSHR drain trigger releases a partial batch as soon as\n\
+             the channel fabric goes idle instead of waiting for the file to fill;\n\
+             cells are the enabled run's idle-drain count and the CPI movement)\n"
+        );
+        let flipped = padlock_bench::banked_grid(
+            pool,
+            &traces,
+            bank_axis,
+            channels,
+            args.order,
+            args.page,
+            !args.idle_drain,
+        );
+        let (off_grid, on_grid) = if args.idle_drain {
+            (&flipped, &selected)
+        } else {
+            (&selected, &flipped)
+        };
+        let table =
+            padlock_bench::idle_delta_table_from(&traces, bank_axis, off_grid, on_grid);
+        println!("{}", table.render_text());
     }
 }
 
 fn main() {
     let args = parse_args();
+    let pool = args.pool();
+    let started = Instant::now();
     if args.mlp {
-        mlp(&args);
+        mlp(&args, &pool);
+        eprintln!(
+            "(mlp sweep wall-clock: {:.2}s at {} jobs)",
+            started.elapsed().as_secs_f64(),
+            pool.jobs()
+        );
         return;
     }
     let mut lab = Lab::new(args.scale);
     if args.calibrate {
+        lab.prewarm(&pool, &padlock_bench::ORDER, &[MachineKind::Baseline]);
         calibrate(&mut lab);
         if args.snc {
-            snc_diag(&mut lab, padlock_bench::MachineKind::LruFull(32));
-            snc_diag(&mut lab, padlock_bench::MachineKind::LruFull(64));
+            lab.prewarm(
+                &pool,
+                &padlock_bench::ORDER,
+                &[MachineKind::LruFull(32), MachineKind::LruFull(64)],
+            );
+            snc_diag(&mut lab, MachineKind::LruFull(32));
+            snc_diag(&mut lab, MachineKind::LruFull(64));
         }
+        eprintln!(
+            "(calibration wall-clock: {:.2}s at {} jobs)",
+            started.elapsed().as_secs_f64(),
+            pool.jobs()
+        );
         return;
     }
     let wanted: Vec<u32> = match args.figure {
@@ -345,6 +466,18 @@ fn main() {
     if let Some(dir) = &args.csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
+    // Fan every (benchmark, machine) simulation the wanted figures need
+    // across the pool up front; rendering below is pure cache recall,
+    // so the output is byte-identical to the serial path.
+    let mut machines: Vec<MachineKind> = Vec::new();
+    for &n in &wanted {
+        for m in padlock_bench::figure_machines(n) {
+            if !machines.contains(&m) {
+                machines.push(m);
+            }
+        }
+    }
+    lab.prewarm(&pool, &padlock_bench::ORDER, &machines);
     for n in wanted {
         let fig = match n {
             3 => lab.figure3(),
@@ -367,4 +500,9 @@ fn main() {
             println!("(csv written to {})", path.display());
         }
     }
+    eprintln!(
+        "(figure suite wall-clock: {:.2}s at {} jobs)",
+        started.elapsed().as_secs_f64(),
+        pool.jobs()
+    );
 }

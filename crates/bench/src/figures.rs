@@ -220,6 +220,47 @@ impl Lab {
     }
 }
 
+/// The machines figure `n` measures — including the insecure baseline
+/// every slowdown/normalisation divides by. This is [`Lab::prewarm`]'s
+/// worklist: prewarming `figure_machines(n) × ORDER` makes the figure
+/// render from pure cache recall.
+pub fn figure_machines(figure: u32) -> Vec<MachineKind> {
+    match figure {
+        3 => vec![MachineKind::Baseline, MachineKind::Xom],
+        5 => vec![
+            MachineKind::Baseline,
+            MachineKind::Xom,
+            MachineKind::Norepl64,
+            MachineKind::LruFull(64),
+        ],
+        6 => vec![
+            MachineKind::Baseline,
+            MachineKind::LruFull(32),
+            MachineKind::LruFull(64),
+            MachineKind::LruFull(128),
+        ],
+        7 => vec![
+            MachineKind::Baseline,
+            MachineKind::LruFull(64),
+            MachineKind::Lru64Way32,
+        ],
+        8 => vec![
+            MachineKind::Baseline,
+            MachineKind::Xom,
+            MachineKind::Xom384,
+            MachineKind::Lru64Way32,
+        ],
+        9 => vec![MachineKind::LruFull(64)],
+        10 => vec![
+            MachineKind::Baseline,
+            MachineKind::XomSlow,
+            MachineKind::Norepl64Slow,
+            MachineKind::Lru64Slow,
+        ],
+        _ => Vec::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +284,17 @@ mod tests {
         lab.figure5();
         // Fig. 5 adds only the two SNC machines (11 benchmarks each).
         assert_eq!(lab.cached_runs(), runs_after_fig3 + 22);
+    }
+
+    #[test]
+    fn prewarming_figure_machines_makes_figures_pure_recall() {
+        use padlock_exec::SweepPool;
+        let mut lab = Lab::new(RunScale::Smoke);
+        lab.prewarm(&SweepPool::new(2), &crate::paper_data::ORDER, &figure_machines(3));
+        let runs = lab.cached_runs();
+        assert_eq!(runs, 22); // 11 benchmarks x {baseline, xom}
+        lab.figure3();
+        assert_eq!(lab.cached_runs(), runs, "figure3 had to simulate after prewarm");
     }
 
     #[test]

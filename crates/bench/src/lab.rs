@@ -3,6 +3,7 @@
 use padlock_core::{
     Machine, MachineConfig, Measurement, SecurityMode, SncConfig, SncOrganization,
 };
+use padlock_exec::SweepPool;
 use padlock_workloads::{benchmark_profile, SpecWorkload};
 use std::collections::HashMap;
 use std::fmt;
@@ -156,7 +157,16 @@ impl Lab {
         if let Some(m) = self.cache.get(&key) {
             return m.clone();
         }
-        let (warmup, measure) = self.scale.window();
+        let result = Self::simulate(self.scale, benchmark, machine);
+        self.cache.insert(key, result.clone());
+        result
+    }
+
+    /// One uncached simulation — a pure function of (scale, benchmark,
+    /// machine), which is what lets [`Lab::prewarm`] fan these across
+    /// threads.
+    fn simulate(scale: RunScale, benchmark: &str, machine: MachineKind) -> Measurement {
+        let (warmup, measure) = scale.window();
         let mut workload = SpecWorkload::new(benchmark_profile(benchmark));
         let mut m = Machine::new(machine.config());
         // Model the paper's 10-billion-instruction fast-forward: an
@@ -165,9 +175,31 @@ impl Lab {
         let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
         let active: Vec<u64> = workload.active_line_addrs().collect();
         m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
-        let result = m.run(&mut workload, warmup, measure);
-        self.cache.insert(key, result.clone());
-        result
+        m.run(&mut workload, warmup, measure)
+    }
+
+    /// Fills the memoisation cache for every `benchmark × machine`
+    /// pair by fanning the uncached simulations across `pool`. Figure
+    /// rendering afterwards is pure cache recall, so prewarming
+    /// parallelises the figure suite without touching its output:
+    /// every cell is the same pure function of (scale, benchmark,
+    /// machine) whichever thread ran it.
+    pub fn prewarm(&mut self, pool: &SweepPool, benchmarks: &[&str], machines: &[MachineKind]) {
+        let mut todo: Vec<(String, MachineKind)> = Vec::new();
+        let mut queued: std::collections::HashSet<(String, String)> = std::collections::HashSet::new();
+        for &b in benchmarks {
+            for &machine in machines {
+                let key = (b.to_string(), machine.key());
+                if !self.cache.contains_key(&key) && queued.insert(key) {
+                    todo.push((b.to_string(), machine));
+                }
+            }
+        }
+        let scale = self.scale;
+        let results = pool.sweep(&todo, |(b, machine)| Self::simulate(scale, b, *machine));
+        for ((benchmark, machine), m) in todo.into_iter().zip(results) {
+            self.cache.insert((benchmark, machine.key()), m);
+        }
     }
 
     /// Slowdown [%] of `machine` relative to the 256KB baseline.
@@ -233,6 +265,23 @@ mod tests {
         let b = lab.measure("gzip", MachineKind::Baseline);
         assert_eq!(a.stats.cycles, b.stats.cycles);
         assert_eq!(lab.cached_runs(), 1);
+    }
+
+    #[test]
+    fn prewarm_matches_serial_measurements_and_fills_the_cache() {
+        let mut serial = Lab::new(RunScale::Smoke);
+        let a = serial.measure("gzip", MachineKind::Xom);
+        let mut pre = Lab::new(RunScale::Smoke);
+        pre.prewarm(
+            &SweepPool::new(4),
+            &["gzip"],
+            &[MachineKind::Baseline, MachineKind::Xom, MachineKind::Xom],
+        );
+        assert_eq!(pre.cached_runs(), 2, "duplicate machine must be queued once");
+        let b = pre.measure("gzip", MachineKind::Xom);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.instructions, b.stats.instructions);
+        assert_eq!(pre.cached_runs(), 2, "measure after prewarm must be pure recall");
     }
 
     #[test]

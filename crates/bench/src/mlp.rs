@@ -16,6 +16,12 @@
 //!   batch ([`run_e2e_point`] measures whole machines on a trace
 //!   recorded from a benchmark workload).
 //!
+//! Every grid cell is an independent pure function of its parameters,
+//! so each table builder takes a [`SweepPool`] and fans its cells
+//! across worker threads; results come back in submission order, so
+//! the rendered tables and JSON lines are byte-identical regardless of
+//! the pool's job count.
+//!
 //! The batch sweep runs with a deliberately CAM-limited SNC port
 //! (16 cycles per probe) so the lookup-contention regime that sharding
 //! addresses is visible; the default configuration keeps probes cheap.
@@ -24,9 +30,11 @@ use padlock_core::{
     Machine, MachineConfig, SecureBackend, SecureBackendConfig, SecurityMode, SncConfig,
 };
 use padlock_cpu::{LineKind, MemoryBackend, Workload};
+use padlock_exec::SweepPool;
 use padlock_mem::{DrainOrder, PagePolicy};
 use padlock_stats::Table;
 use padlock_workloads::{benchmark_profile, SpecWorkload, TracePlayer, TraceRecorder, CHASE_BASE};
+use std::collections::BTreeMap;
 
 /// SNC port occupancy used by the batch sweep: a large fully
 /// associative CAM whose probe occupies the port longer than one DRAM
@@ -54,6 +62,21 @@ impl MlpPoint {
     /// Average simulated cycles per retired read.
     pub fn cycles_per_read(&self) -> f64 {
         self.total_cycles as f64 / self.reads.max(1) as f64
+    }
+
+    /// The cell as one JSON line. Every field is a simulated quantity,
+    /// so the line is identical for any `--jobs` count.
+    pub fn jsonl(&self) -> String {
+        format!(
+            "{{\"kind\":\"mlp\",\"inflight\":{},\"shards\":{},\"channels\":{},\
+             \"banks\":{},\"reads\":{},\"total_cycles\":{}}}",
+            self.max_inflight,
+            self.snc_shards,
+            self.mem_channels,
+            self.mem_banks,
+            self.reads,
+            self.total_cycles
+        )
     }
 }
 
@@ -124,13 +147,41 @@ pub fn run_mlp_point(
 
 /// The batch sweep as a rendered table: one row per `max_inflight`,
 /// one column per (shards × channels) pair, each cell `cycles/read
-/// (speedup vs the blocking single-channel 1×1 controller)`.
+/// (speedup vs the blocking single-channel 1×1 controller)`. All cells
+/// fan across `pool`.
 pub fn mlp_table(
+    pool: &SweepPool,
     inflights: &[usize],
     shard_counts: &[usize],
     channel_counts: &[usize],
     lines: u64,
 ) -> Table {
+    let mut cells: Vec<(usize, usize, usize)> = vec![(1, 1, 1)];
+    for &inflight in inflights {
+        for &shards in shard_counts {
+            for &channels in channel_counts {
+                if (inflight, shards, channels) != (1, 1, 1) {
+                    cells.push((inflight, shards, channels));
+                }
+            }
+        }
+    }
+    let points = pool.sweep(&cells, |&(inflight, shards, channels)| {
+        run_mlp_point(
+            inflight,
+            shards,
+            channels,
+            1,
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+            lines,
+        )
+    });
+    let by_cell: BTreeMap<(usize, usize, usize), MlpPoint> =
+        cells.into_iter().zip(points).collect();
+    let base_point = by_cell[&(1, 1, 1)];
+    let base = base_point.cycles_per_read();
+
     let mut header = vec!["inflight".to_string()];
     for &s in shard_counts {
         for &c in channel_counts {
@@ -138,25 +189,11 @@ pub fn mlp_table(
         }
     }
     let mut table = Table::new(header);
-    let base_point = run_mlp_point(1, 1, 1, 1, DrainOrder::Fifo, PagePolicy::Open, lines);
-    let base = base_point.cycles_per_read();
     for &inflight in inflights {
         let mut row = vec![inflight.to_string()];
         for &shards in shard_counts {
             for &channels in channel_counts {
-                let p = if (inflight, shards, channels) == (1, 1, 1) {
-                    base_point
-                } else {
-                    run_mlp_point(
-                        inflight,
-                        shards,
-                        channels,
-                        1,
-                        DrainOrder::Fifo,
-                        PagePolicy::Open,
-                        lines,
-                    )
-                };
+                let p = by_cell[&(inflight, shards, channels)];
                 row.push(format!(
                     "{:7.1} cyc/read ({:4.2}x)",
                     p.cycles_per_read(),
@@ -221,6 +258,66 @@ impl E2eTrace {
     }
 }
 
+/// One end-to-end grid cell's machine parameters: the structural axes
+/// (MSHRs × channels × banks × in-flight bound) plus the scheduling
+/// knobs, which default to the paper configuration (arrival-order
+/// drains, open-page banks, no idle-keyed drains).
+#[derive(Debug, Clone, Copy)]
+pub struct E2eParams {
+    /// Hierarchy MSHR depth.
+    pub l2_mshrs: usize,
+    /// DRAM channel (and paired SNC shard) count.
+    pub mem_channels: usize,
+    /// DRAM banks per channel (1 = flat).
+    pub mem_banks: usize,
+    /// Engine in-flight bound.
+    pub max_inflight: usize,
+    /// Drain order (FIFO vs FR-FCFS row-first).
+    pub order: DrainOrder,
+    /// Bank page policy (open vs closed).
+    pub page: PagePolicy,
+    /// Idle-keyed MSHR drain trigger (PR 6's scheduler follow-on (a)).
+    pub drain_on_idle: bool,
+}
+
+impl E2eParams {
+    /// Structural axes with paper-default scheduling knobs.
+    pub fn new(
+        l2_mshrs: usize,
+        mem_channels: usize,
+        mem_banks: usize,
+        max_inflight: usize,
+    ) -> Self {
+        Self {
+            l2_mshrs,
+            mem_channels,
+            mem_banks,
+            max_inflight,
+            order: DrainOrder::Fifo,
+            page: PagePolicy::Open,
+            drain_on_idle: false,
+        }
+    }
+
+    /// Sets the drain order.
+    pub fn with_order(mut self, order: DrainOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the page policy.
+    pub fn with_page(mut self, page: PagePolicy) -> Self {
+        self.page = page;
+        self
+    }
+
+    /// Sets the idle-keyed drain trigger.
+    pub fn with_drain_on_idle(mut self, on: bool) -> Self {
+        self.drain_on_idle = on;
+        self
+    }
+}
+
 /// One cell of the end-to-end sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct E2ePoint {
@@ -240,12 +337,36 @@ pub struct E2ePoint {
     pub row_hits: u64,
     /// Row-buffer conflicts observed in the measured window.
     pub row_conflicts: u64,
+    /// Idle-keyed MSHR drains in the measured window (0 unless the run
+    /// enabled `drain_on_idle`).
+    pub idle_drains: u64,
 }
 
 impl E2ePoint {
     /// Cycles per instruction of the measured window.
     pub fn cpi(&self) -> f64 {
         self.cycles as f64 / self.instructions.max(1) as f64
+    }
+
+    /// The cell as one JSON line tagged with its trace name. Every
+    /// field is a simulated quantity, so the line is identical for any
+    /// `--jobs` count.
+    pub fn jsonl(&self, trace: &str) -> String {
+        format!(
+            "{{\"kind\":\"e2e\",\"trace\":\"{}\",\"mshrs\":{},\"channels\":{},\
+             \"banks\":{},\"inflight\":{},\"cycles\":{},\"instructions\":{},\
+             \"row_hits\":{},\"row_conflicts\":{},\"idle_drains\":{}}}",
+            trace,
+            self.l2_mshrs,
+            self.mem_channels,
+            self.mem_banks,
+            self.max_inflight,
+            self.cycles,
+            self.instructions,
+            self.row_hits,
+            self.row_conflicts,
+            self.idle_drains
+        )
     }
 }
 
@@ -256,49 +377,27 @@ impl E2ePoint {
 /// visible to the MSHR file. The SNC shard count is paired with the
 /// channel count — each (shard, channel) pair is one independent
 /// memory controller.
-pub fn e2e_machine_config(
-    l2_mshrs: usize,
-    mem_channels: usize,
-    mem_banks: usize,
-    max_inflight: usize,
-    order: DrainOrder,
-    page: PagePolicy,
-) -> MachineConfig {
+pub fn e2e_machine_config(params: E2eParams) -> MachineConfig {
     let snc = SncConfig::paper_default().with_capacity(128);
     let mut cfg = MachineConfig::paper(SecurityMode::Otp { snc });
     cfg.pipeline.rob_size = 128;
-    cfg.hierarchy.l2_mshrs = l2_mshrs;
+    cfg.hierarchy.l2_mshrs = params.l2_mshrs;
+    cfg.hierarchy.drain_on_idle = params.drain_on_idle;
     cfg.security = cfg
         .security
-        .with_max_inflight(max_inflight)
-        .with_snc_shards(mem_channels)
-        .with_mem_channels(mem_channels)
-        .with_mem_banks(mem_banks)
-        .with_drain_order(order)
-        .with_page_policy(page);
+        .with_max_inflight(params.max_inflight)
+        .with_snc_shards(params.mem_channels)
+        .with_mem_channels(params.mem_channels)
+        .with_mem_banks(params.mem_banks)
+        .with_drain_order(params.order)
+        .with_page_policy(params.page);
     cfg
 }
 
 /// Runs one end-to-end cell: the recorded trace through a full machine
-/// (core + hierarchy + engine) at the given MSHR/channel/inflight
-/// depth, drain order, and page policy.
-pub fn run_e2e_point(
-    trace: &E2eTrace,
-    l2_mshrs: usize,
-    mem_channels: usize,
-    mem_banks: usize,
-    max_inflight: usize,
-    order: DrainOrder,
-    page: PagePolicy,
-) -> E2ePoint {
-    let mut machine = Machine::new(e2e_machine_config(
-        l2_mshrs,
-        mem_channels,
-        mem_banks,
-        max_inflight,
-        order,
-        page,
-    ));
+/// (core + hierarchy + engine) at the given parameters.
+pub fn run_e2e_point(trace: &E2eTrace, params: E2eParams) -> E2ePoint {
+    let mut machine = Machine::new(e2e_machine_config(params));
     machine
         .core_mut()
         .hierarchy_mut()
@@ -307,14 +406,15 @@ pub fn run_e2e_point(
     let mut player = trace.player.clone();
     let m = machine.run(&mut player, trace.warmup, trace.measure);
     E2ePoint {
-        l2_mshrs,
-        mem_channels,
-        mem_banks,
-        max_inflight,
+        l2_mshrs: params.l2_mshrs,
+        mem_channels: params.mem_channels,
+        mem_banks: params.mem_banks,
+        max_inflight: params.max_inflight,
         cycles: m.stats.cycles,
         instructions: m.stats.instructions,
         row_hits: m.traffic.get("row_hits"),
         row_conflicts: m.traffic.get("row_conflicts"),
+        idle_drains: m.mshr.get("idle_drains"),
     }
 }
 
@@ -330,30 +430,47 @@ pub fn inflight_for(l2_mshrs: usize) -> usize {
 /// The full end-to-end sweep as a rendered table: one row per MSHR
 /// depth, one column per channel count, each cell
 /// `CPI (speedup vs the 1-MSHR 1-channel paper machine)`. The drain
-/// order and page policy apply to every cell (on this flat
-/// `mem_banks = 1` grid both are inert — the knob is exercised, the
-/// numbers match Fifo/Open exactly).
+/// order, page policy, and idle-drain trigger apply to every cell (on
+/// this flat `mem_banks = 1` grid the bank knobs are inert — the knob
+/// is exercised, the numbers match Fifo/Open exactly). All cells fan
+/// across `pool`.
 pub fn e2e_table(
+    pool: &SweepPool,
     trace: &E2eTrace,
     mshr_counts: &[usize],
     channel_counts: &[usize],
     order: DrainOrder,
     page: PagePolicy,
+    drain_on_idle: bool,
 ) -> Table {
+    let knobs = |p: E2eParams| {
+        p.with_order(order).with_page(page).with_drain_on_idle(drain_on_idle)
+    };
+    let mut cells = vec![knobs(E2eParams::new(1, 1, 1, 1))];
+    for &mshrs in mshr_counts {
+        for &channels in channel_counts {
+            if (mshrs, channels) != (1, 1) {
+                cells.push(knobs(E2eParams::new(mshrs, channels, 1, inflight_for(mshrs))));
+            }
+        }
+    }
+    let points = pool.sweep(&cells, |p| run_e2e_point(trace, *p));
+    let by_cell: BTreeMap<(usize, usize), E2ePoint> = cells
+        .iter()
+        .map(|p| (p.l2_mshrs, p.mem_channels))
+        .zip(points)
+        .collect();
+    let base = by_cell[&(1, 1)];
+
     let mut header = vec!["mshrs".to_string()];
     for &c in channel_counts {
         header.push(format!("{c} channel{}", if c == 1 { "" } else { "s" }));
     }
     let mut table = Table::new(header);
-    let base = run_e2e_point(trace, 1, 1, 1, 1, order, page);
     for &mshrs in mshr_counts {
         let mut row = vec![mshrs.to_string()];
         for &channels in channel_counts {
-            let p = if (mshrs, channels) == (1, 1) {
-                base
-            } else {
-                run_e2e_point(trace, mshrs, channels, 1, inflight_for(mshrs), order, page)
-            };
+            let p = by_cell[&(mshrs, channels)];
             row.push(format!(
                 "{:5.2} CPI ({:4.2}x)",
                 p.cpi(),
@@ -367,26 +484,50 @@ pub fn e2e_table(
 
 /// Simulates the deep banked machine (8 MSHRs, 32 in-flight,
 /// `channels` channels paired with shards) over the bank axis for
-/// every trace: `grid[bank_index][trace_index]`. Both bank-sweep
-/// tables render from one of these, so a caller printing several
-/// tables of the same machines simulates each cell exactly once.
+/// every trace: `grid[bank_index][trace_index]`, every cell fanned
+/// across `pool`. Both bank-sweep tables render from one of these, so
+/// a caller printing several tables of the same machines simulates
+/// each cell exactly once.
 pub fn banked_grid(
+    pool: &SweepPool,
     traces: &[&E2eTrace],
     bank_counts: &[usize],
     channels: usize,
     order: DrainOrder,
     page: PagePolicy,
+    drain_on_idle: bool,
 ) -> Vec<Vec<E2ePoint>> {
     assert!(!bank_counts.is_empty(), "bank axis cannot be empty");
+    let cells: Vec<(usize, usize)> = bank_counts
+        .iter()
+        .enumerate()
+        .flat_map(|(bank_index, _)| (0..traces.len()).map(move |t| (bank_index, t)))
+        .collect();
+    let flat = pool.sweep(&cells, |&(bank_index, trace_index)| {
+        let params = E2eParams::new(8, channels, bank_counts[bank_index], 32)
+            .with_order(order)
+            .with_page(page)
+            .with_drain_on_idle(drain_on_idle);
+        run_e2e_point(traces[trace_index], params)
+    });
+    let mut rows = flat.into_iter();
     bank_counts
         .iter()
-        .map(|&banks| {
-            traces
-                .iter()
-                .map(|t| run_e2e_point(t, 8, channels, banks, 32, order, page))
-                .collect()
-        })
+        .map(|_| rows.by_ref().take(traces.len()).collect())
         .collect()
+}
+
+/// Serialises a [`banked_grid`] as JSON lines in grid (submission)
+/// order, one line per cell tagged with its trace name.
+pub fn grid_jsonl(traces: &[&E2eTrace], grid: &[Vec<E2ePoint>]) -> String {
+    let mut out = String::new();
+    for row in grid {
+        for (trace_index, p) in row.iter().enumerate() {
+            out.push_str(&p.jsonl(traces[trace_index].name()));
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// The bank sweep: one row per bank count, one column per recorded
@@ -422,13 +563,14 @@ pub fn bank_table_from(
 
 /// [`bank_table_from`] over a freshly simulated [`banked_grid`].
 pub fn bank_table(
+    pool: &SweepPool,
     traces: &[&E2eTrace],
     bank_counts: &[usize],
     channels: usize,
     order: DrainOrder,
     page: PagePolicy,
 ) -> Table {
-    let grid = banked_grid(traces, bank_counts, channels, order, page);
+    let grid = banked_grid(pool, traces, bank_counts, channels, order, page, false);
     bank_table_from(traces, bank_counts, &grid)
 }
 
@@ -482,14 +624,65 @@ pub fn order_delta_table_from(
 
 /// [`order_delta_table_from`] over two freshly simulated grids.
 pub fn order_delta_table(
+    pool: &SweepPool,
     traces: &[&E2eTrace],
     bank_counts: &[usize],
     channels: usize,
     page: PagePolicy,
 ) -> Table {
-    let fifo = banked_grid(traces, bank_counts, channels, DrainOrder::Fifo, page);
-    let rowf = banked_grid(traces, bank_counts, channels, DrainOrder::RowFirst, page);
+    let fifo = banked_grid(pool, traces, bank_counts, channels, DrainOrder::Fifo, page, false);
+    let rowf =
+        banked_grid(pool, traces, bank_counts, channels, DrainOrder::RowFirst, page, false);
     order_delta_table_from(traces, bank_counts, &fifo, &rowf)
+}
+
+/// The idle-drain-delta table: the same machines with the idle-keyed
+/// MSHR drain trigger off vs on, one row per bank count, one column
+/// per trace. Each cell reports the enabled run's idle-drain count and
+/// the CPI movement — the measurement half of scheduler follow-on (a),
+/// whose knob (`HierarchyConfig::drain_on_idle`) landed default-off.
+/// `off` and `on` are [`banked_grid`]s of the two settings over the
+/// same traces and axis.
+pub fn idle_delta_table_from(
+    traces: &[&E2eTrace],
+    bank_counts: &[usize],
+    off: &[Vec<E2ePoint>],
+    on: &[Vec<E2ePoint>],
+) -> Table {
+    let mut header = vec!["banks".to_string()];
+    for t in traces {
+        header.push(format!("{} (idle-drain off -> on)", t.name()));
+    }
+    let mut table = Table::new(header);
+    for (bank_index, &banks) in bank_counts.iter().enumerate() {
+        let mut row = vec![banks.to_string()];
+        for trace_index in 0..traces.len() {
+            let (f, n) = (&off[bank_index][trace_index], &on[bank_index][trace_index]);
+            row.push(format!(
+                "{} idle drains, {:5.2} -> {:5.2} CPI ({:4.2}x)",
+                n.idle_drains,
+                f.cpi(),
+                n.cpi(),
+                f.cycles as f64 / n.cycles as f64,
+            ));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// [`idle_delta_table_from`] over two freshly simulated grids.
+pub fn idle_delta_table(
+    pool: &SweepPool,
+    traces: &[&E2eTrace],
+    bank_counts: &[usize],
+    channels: usize,
+    order: DrainOrder,
+    page: PagePolicy,
+) -> Table {
+    let off = banked_grid(pool, traces, bank_counts, channels, order, page, false);
+    let on = banked_grid(pool, traces, bank_counts, channels, order, page, true);
+    idle_delta_table_from(traces, bank_counts, &off, &on)
 }
 
 #[cfg(test)]
@@ -523,15 +716,7 @@ mod tests {
         banks: usize,
         inflight: usize,
     ) -> E2ePoint {
-        run_e2e_point(
-            trace,
-            mshrs,
-            channels,
-            banks,
-            inflight,
-            DrainOrder::Fifo,
-            PagePolicy::Open,
-        )
+        run_e2e_point(trace, E2eParams::new(mshrs, channels, banks, inflight))
     }
 
     #[test]
@@ -586,7 +771,7 @@ mod tests {
 
     #[test]
     fn table_has_a_row_per_inflight_level_and_channel_columns() {
-        let t = mlp_table(&[1, 4], &[1], &[1, 2], 128);
+        let t = mlp_table(&SweepPool::new(2), &[1, 4], &[1], &[1, 2], 128);
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.col_count(), 3);
         let text = t.render_text();
@@ -635,7 +820,15 @@ mod tests {
     #[test]
     fn e2e_table_prints_channel_axis() {
         let trace = E2eTrace::record("bfs", 5_000, 20_000);
-        let t = e2e_table(&trace, &[1, 8], &[1, 4], DrainOrder::Fifo, PagePolicy::Open);
+        let t = e2e_table(
+            &SweepPool::new(2),
+            &trace,
+            &[1, 8],
+            &[1, 4],
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+            false,
+        );
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.col_count(), 3);
         let text = t.render_text();
@@ -713,7 +906,14 @@ mod tests {
     fn bank_table_prints_both_traces() {
         let bfs = E2eTrace::record("bfs", 5_000, 20_000);
         let rstride = E2eTrace::record("rstride", 5_000, 20_000);
-        let t = bank_table(&[&bfs, &rstride], &[1, 4], 4, DrainOrder::Fifo, PagePolicy::Open);
+        let t = bank_table(
+            &SweepPool::new(2),
+            &[&bfs, &rstride],
+            &[1, 4],
+            4,
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+        );
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.col_count(), 3);
         let text = t.render_text();
@@ -730,9 +930,11 @@ mod tests {
         // accessed) and the CPI must improve, not just move.
         let trace = E2eTrace::record("bfs", 20_000, 60_000);
         for banks in [4usize, 8] {
-            let fifo = run_e2e_point(&trace, 8, 4, banks, 32, DrainOrder::Fifo, PagePolicy::Open);
-            let rowf =
-                run_e2e_point(&trace, 8, 4, banks, 32, DrainOrder::RowFirst, PagePolicy::Open);
+            let fifo = run_e2e_point(&trace, E2eParams::new(8, 4, banks, 32));
+            let rowf = run_e2e_point(
+                &trace,
+                E2eParams::new(8, 4, banks, 32).with_order(DrainOrder::RowFirst),
+            );
             assert_eq!(fifo.instructions, rowf.instructions);
             assert!(
                 rowf.row_hits > fifo.row_hits,
@@ -764,8 +966,11 @@ mod tests {
         // does in fact win, because the dearer conflict path sat on the
         // serial chain's critical path.
         let rstride = E2eTrace::record("rstride", 20_000, 60_000);
-        let open = run_e2e_point(&rstride, 8, 4, 8, 32, DrainOrder::Fifo, PagePolicy::Open);
-        let closed = run_e2e_point(&rstride, 8, 4, 8, 32, DrainOrder::Fifo, PagePolicy::Closed);
+        let open = run_e2e_point(&rstride, E2eParams::new(8, 4, 8, 32));
+        let closed = run_e2e_point(
+            &rstride,
+            E2eParams::new(8, 4, 8, 32).with_page(PagePolicy::Closed),
+        );
         assert_eq!(closed.row_hits, 0, "closed-page run reported a row hit");
         assert!(closed.row_conflicts > 0);
         assert_eq!(
@@ -781,14 +986,17 @@ mod tests {
         );
         // The invariant holds on a hit-rich trace too.
         let bfs = E2eTrace::record("bfs", 20_000, 60_000);
-        let bfs_closed = run_e2e_point(&bfs, 8, 4, 8, 32, DrainOrder::Fifo, PagePolicy::Closed);
+        let bfs_closed = run_e2e_point(
+            &bfs,
+            E2eParams::new(8, 4, 8, 32).with_page(PagePolicy::Closed),
+        );
         assert_eq!(bfs_closed.row_hits, 0);
     }
 
     #[test]
     fn order_delta_table_reports_both_orders() {
         let bfs = E2eTrace::record("bfs", 5_000, 20_000);
-        let t = order_delta_table(&[&bfs], &[4], 4, PagePolicy::Open);
+        let t = order_delta_table(&SweepPool::serial(), &[&bfs], &[4], 4, PagePolicy::Open);
         assert_eq!(t.row_count(), 1);
         assert_eq!(t.col_count(), 2);
         let text = t.render_text();
@@ -796,6 +1004,51 @@ mod tests {
         assert!(text.contains("CPI"), "{text}");
         assert!(text.contains("hits"), "{text}");
     }
+
+    #[test]
+    fn idle_drain_knob_counts_only_when_enabled() {
+        // The counter is windowed with the other stats, and the knob is
+        // fully off by default: zero idle drains unless enabled.
+        let trace = E2eTrace::record("bfs", 5_000, 20_000);
+        let off = run_e2e_point(&trace, E2eParams::new(8, 4, 4, 32));
+        let on = run_e2e_point(
+            &trace,
+            E2eParams::new(8, 4, 4, 32).with_drain_on_idle(true),
+        );
+        assert_eq!(off.idle_drains, 0, "default-off knob counted idle drains");
+        assert_eq!(off.instructions, on.instructions);
+    }
+
+    #[test]
+    fn idle_delta_table_reports_the_knob() {
+        let bfs = E2eTrace::record("bfs", 5_000, 20_000);
+        let t = idle_delta_table(
+            &SweepPool::new(2),
+            &[&bfs],
+            &[4],
+            4,
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+        );
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.col_count(), 2);
+        let text = t.render_text();
+        assert!(text.contains("idle-drain off -> on"), "{text}");
+        assert!(text.contains("idle drains"), "{text}");
+        assert!(text.contains("CPI"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_deterministic_json_records() {
+        let p = mlp_point(4, 1, 2, 1, 64);
+        let line = p.jsonl();
+        assert!(line.starts_with("{\"kind\":\"mlp\""), "{line}");
+        assert!(line.contains("\"channels\":2"), "{line}");
+        let trace = E2eTrace::record("bfs", 2_000, 8_000);
+        let e = e2e_point(&trace, 2, 1, 1, 8);
+        let eline = e.jsonl(trace.name());
+        assert!(eline.contains("\"trace\":\"bfs\""), "{eline}");
+        assert!(eline.contains("\"idle_drains\":0"), "{eline}");
+        assert_eq!(eline, e2e_point(&trace, 2, 1, 1, 8).jsonl(trace.name()));
+    }
 }
-
-

@@ -1,0 +1,109 @@
+//! The parallel-determinism gate: every table builder and JSON-lines
+//! serialisation must be **byte-identical** when fanned across a
+//! work-stealing pool vs run serially. Each grid cell is a pure
+//! function of its configuration, and [`padlock_exec::SweepPool`]
+//! reassembles results in submission order, so any byte of difference
+//! means a cell stopped being pure (shared state leaked between
+//! simulations) or the pool mis-slotted a result — both bugs this
+//! suite exists to catch. CI runs it on every push.
+
+use padlock_bench::{
+    bank_table, banked_grid, e2e_table, figure_machines, grid_jsonl, idle_delta_table, mlp_table,
+    order_delta_table, E2eTrace, Lab, RunScale, ORDER,
+};
+use padlock_exec::SweepPool;
+use padlock_mem::{DrainOrder, PagePolicy};
+
+/// Tiny end-to-end windows: determinism does not need a representative
+/// measurement, just real simulations on both sides of the comparison.
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 6_000;
+
+#[test]
+fn mlp_table_is_byte_identical_across_jobs() {
+    let serial =
+        mlp_table(&SweepPool::serial(), &[1, 4], &[1, 2], &[1, 2], 256).render_text();
+    let pooled = mlp_table(&SweepPool::new(4), &[1, 4], &[1, 2], &[1, 2], 256).render_text();
+    assert_eq!(serial, pooled);
+}
+
+#[test]
+fn e2e_table_is_byte_identical_across_jobs() {
+    let trace = E2eTrace::record("bfs", WARMUP, MEASURE);
+    for idle in [false, true] {
+        let serial = e2e_table(
+            &SweepPool::serial(),
+            &trace,
+            &[1, 2],
+            &[1, 2],
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+            idle,
+        )
+        .render_text();
+        let pooled = e2e_table(
+            &SweepPool::new(4),
+            &trace,
+            &[1, 2],
+            &[1, 2],
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+            idle,
+        )
+        .render_text();
+        assert_eq!(serial, pooled, "e2e table diverged (idle drain {idle})");
+    }
+}
+
+#[test]
+fn bank_and_delta_tables_and_jsonl_are_byte_identical_across_jobs() {
+    let bfs = E2eTrace::record("bfs", WARMUP, MEASURE);
+    let rstride = E2eTrace::record("rstride", WARMUP, MEASURE);
+    let traces: Vec<&E2eTrace> = vec![&bfs, &rstride];
+    let banks = [1usize, 2];
+    let serial = SweepPool::serial();
+    let pooled = SweepPool::new(4);
+
+    assert_eq!(
+        bank_table(&serial, &traces, &banks, 2, DrainOrder::Fifo, PagePolicy::Open).render_text(),
+        bank_table(&pooled, &traces, &banks, 2, DrainOrder::Fifo, PagePolicy::Open).render_text(),
+    );
+    assert_eq!(
+        order_delta_table(&serial, &traces, &banks, 2, PagePolicy::Open).render_text(),
+        order_delta_table(&pooled, &traces, &banks, 2, PagePolicy::Open).render_text(),
+    );
+    assert_eq!(
+        idle_delta_table(&serial, &traces, &banks, 2, DrainOrder::Fifo, PagePolicy::Open)
+            .render_text(),
+        idle_delta_table(&pooled, &traces, &banks, 2, DrainOrder::Fifo, PagePolicy::Open)
+            .render_text(),
+    );
+
+    let grid_serial =
+        banked_grid(&serial, &traces, &banks, 2, DrainOrder::Fifo, PagePolicy::Open, true);
+    let grid_pooled =
+        banked_grid(&pooled, &traces, &banks, 2, DrainOrder::Fifo, PagePolicy::Open, true);
+    assert_eq!(
+        grid_jsonl(&traces, &grid_serial),
+        grid_jsonl(&traces, &grid_pooled),
+        "JSON-lines stream diverged across jobs"
+    );
+}
+
+#[test]
+fn figure_tables_are_byte_identical_after_parallel_prewarm() {
+    // Shrink the Smoke windows for this test only: the comparison needs
+    // 44 real simulations, not representative ones. No other test in
+    // this binary reads the scale windows, so the process-global
+    // override cannot race.
+    std::env::set_var("PADLOCK_WARMUP", "2000");
+    std::env::set_var("PADLOCK_MEASURE", "6000");
+    let mut serial = Lab::new(RunScale::Smoke);
+    let serial_text = serial.figure3().table().render_text();
+    let mut prewarmed = Lab::new(RunScale::Smoke);
+    prewarmed.prewarm(&SweepPool::new(4), &ORDER, &figure_machines(3));
+    let pooled_text = prewarmed.figure3().table().render_text();
+    std::env::remove_var("PADLOCK_WARMUP");
+    std::env::remove_var("PADLOCK_MEASURE");
+    assert_eq!(serial_text, pooled_text);
+}

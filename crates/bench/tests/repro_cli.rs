@@ -52,11 +52,46 @@ fn order_and_page_accept_only_known_policies() {
 }
 
 #[test]
+fn jobs_must_be_a_positive_worker_count() {
+    for bad in ["0", "x", "-1", "1.5"] {
+        let out = repro(&["--mlp", "--smoke", "--jobs", bad]);
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad} should be a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--jobs"),
+            "--jobs {bad}: unexpected message {stderr:?}"
+        );
+        assert!(out.stdout.is_empty(), "--jobs {bad} printed output");
+    }
+    // The flag needs a value at all.
+    let out = repro(&["--mlp", "--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn jsonl_requires_the_bank_sweep() {
+    let out = repro(&["--mlp", "--smoke", "--jsonl", "/tmp/never-written.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--banks"), "unexpected message {stderr:?}");
+}
+
+#[test]
 fn help_documents_the_scheduling_flags() {
     let out = repro(&["--help"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["--order", "row-first", "--page", "closed", "--banks"] {
+    for needle in [
+        "--order",
+        "row-first",
+        "--page",
+        "closed",
+        "--banks",
+        "--jobs",
+        "byte-identical",
+        "--idle-drain",
+        "--jsonl",
+    ] {
         assert!(stdout.contains(needle), "help lacks {needle}: {stdout}");
     }
 }

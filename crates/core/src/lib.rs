@@ -71,3 +71,18 @@ pub use secure_mem::{
 };
 pub use snc::{EvictedSeq, SequenceNumberCache, SncLookup};
 pub use snc_shards::SncShards;
+
+// The sweep executor moves whole machines and their results across
+// worker threads (`padlock_exec::SweepPool`); these compile-time bounds
+// pin that down, per the T1 audit of the simulator's interior-mutability
+// sites: a machine owns all of its state, so `Send` must hold and any
+// future `Rc`/`RefCell` that breaks it fails right here, not in a
+// distant bench build.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<MachineConfig>();
+    assert_send::<Measurement>();
+    assert_send::<SecureBackend>();
+    assert_send::<SecureBackendConfig>();
+};

@@ -48,6 +48,9 @@ pub struct Measurement {
     pub traffic: CounterSet,
     /// Controller event snapshot.
     pub controller: CounterSet,
+    /// L2 MSHR file snapshot (`allocations`, `merges`, `full_drains`,
+    /// `forced_drains`, `idle_drains`).
+    pub mshr: CounterSet,
     /// SNC event snapshot (empty counters in non-OTP modes).
     pub snc: CounterSet,
     /// Machine label (e.g. `"XOM"`).
@@ -123,6 +126,7 @@ impl Machine {
             l2: h.l2_stats().clone(),
             traffic: h.backend().traffic(),
             controller: h.backend().controller_stats().clone(),
+            mshr: h.mshr_stats().clone(),
             snc: h
                 .backend()
                 .snc()

@@ -48,3 +48,15 @@ pub use hierarchy::{
 };
 pub use op::{MicroOp, OpClass, StrideWorkload, Workload};
 pub use pipeline::{Core, PipelineConfig, RunStats};
+
+// The sweep executor simulates one hierarchy per worker thread; these
+// bounds keep the pipeline and memory model `Send` so a sweep can move
+// them to whichever worker claims the grid point (see the T1 audit —
+// no shared-ownership cells hide in here).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Core<InsecureBackend>>();
+    assert_send::<Hierarchy<InsecureBackend>>();
+    assert_send::<HierarchyConfig>();
+    assert_send::<PipelineConfig>();
+};

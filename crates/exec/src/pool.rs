@@ -1,0 +1,282 @@
+//! The work-stealing pool: per-worker index deques, steal-half victims,
+//! and a submission-order result buffer.
+//!
+//! Concurrency design, in full, because `padlock-lint --audit` points
+//! here:
+//!
+//! * Work items are *indices* into the caller's point slice. Each index
+//!   lives in exactly one deque at a time; removal (own pop or steal)
+//!   happens under that deque's mutex, so every index is claimed by
+//!   exactly one worker.
+//! * Thieves move the back half of a victim's deque into their *own*
+//!   deque. A worker therefore only ever exits once its own deque is
+//!   empty and a full victim scan found nothing — and since only the
+//!   owner pushes into a deque, an exited worker's deque stays empty.
+//!   Together: when the scope joins, every index was claimed, and every
+//!   claimed index has run.
+//! * Results land in [`Slots`], a fixed-size buffer indexed by
+//!   submission order. Writes are disjoint by construction (one claim
+//!   per index), and reads happen only after the thread scope joins,
+//!   so the buffer needs no per-cell locking.
+
+// lint: safety: interior mutability confined to Slots below; disjoint-index writes, reads after join
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
+
+/// A fixed-width pool that fans a slice of grid points across up to
+/// `jobs` worker threads and returns results in submission order.
+///
+/// `jobs = 1` (or a single point) short-circuits to a plain serial
+/// loop on the calling thread — the bit-exact escape hatch, though the
+/// parallel path produces byte-identical results anyway.
+#[derive(Debug, Clone)]
+pub struct SweepPool {
+    jobs: usize,
+}
+
+impl SweepPool {
+    /// A pool running at most `jobs` workers per sweep (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// The serial pool: `jobs = 1`, every sweep runs inline.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Resolves the job count from the environment: `PADLOCK_JOBS` if
+    /// set to a positive integer, else the host's available
+    /// parallelism, else 1.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("PADLOCK_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
+        Self::new(jobs)
+    }
+
+    /// The configured worker ceiling.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `run` over every point and returns the results **in
+    /// submission order** (`result[i]` corresponds to `points[i]`),
+    /// regardless of which worker executed which point or in what
+    /// order. Spawns `min(jobs, points.len())` scoped workers; panics
+    /// in `run` propagate to the caller.
+    pub fn sweep<P, R, F>(&self, points: &[P], run: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+    {
+        let workers = self.jobs.min(points.len());
+        if workers <= 1 {
+            return points.iter().map(run).collect();
+        }
+
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            seed_blocks(points.len(), workers).into_iter().map(Mutex::new).collect();
+        let slots = Slots::new(points.len());
+
+        thread::scope(|scope| {
+            for id in 0..workers {
+                let deques = &deques;
+                let slots = &slots;
+                let run = &run;
+                scope.spawn(move || {
+                    while let Some(idx) = claim(deques, id) {
+                        // lint: safety: idx was claimed under a deque mutex by exactly this worker, so this write is the sole access to cell idx until the scope joins
+                        unsafe { slots.put(idx, run(&points[idx])) };
+                    }
+                });
+            }
+        });
+
+        slots.into_results()
+    }
+}
+
+/// Contiguous index blocks seeding each worker's deque: worker `i`
+/// starts with `points[start_i .. start_i + len_i]`, sized within one
+/// of each other. Contiguity keeps the common no-steal case touching
+/// each point slice region from a single thread.
+fn seed_blocks(n: usize, workers: usize) -> Vec<VecDeque<usize>> {
+    let base = n / workers;
+    let extra = n % workers;
+    let mut blocks = Vec::with_capacity(workers);
+    let mut next = 0;
+    for i in 0..workers {
+        let len = base + usize::from(i < extra);
+        blocks.push((next..next + len).collect());
+        next += len;
+    }
+    blocks
+}
+
+/// Claims the next index for worker `id`: front of its own deque, else
+/// the back half of the first non-empty victim (scanned round-robin
+/// from `id + 1`), else `None` — at which point no deque held work
+/// during a full scan, and since only owners push, the worker can
+/// retire.
+fn claim(deques: &[Mutex<VecDeque<usize>>], id: usize) -> Option<usize> {
+    if let Some(idx) = lock(deques, id).pop_front() {
+        return Some(idx);
+    }
+    for offset in 1..deques.len() {
+        let victim = (id + offset) % deques.len();
+        let mut stolen = {
+            let mut v = lock(deques, victim);
+            let n = v.len();
+            if n == 0 {
+                continue;
+            }
+            v.split_off(n - (n - n / 2)) // back half, rounded up
+        };
+        let first = stolen.pop_front();
+        if !stolen.is_empty() {
+            lock(deques, id).append(&mut stolen);
+        }
+        return first;
+    }
+    None
+}
+
+fn lock<'a>(
+    deques: &'a [Mutex<VecDeque<usize>>],
+    i: usize,
+) -> std::sync::MutexGuard<'a, VecDeque<usize>> {
+    deques[i]
+        .lock()
+        .expect("sweep deque mutex poisoned: a worker panicked while (re)queueing indices")
+}
+
+/// Submission-order result buffer: one cell per point, written lock-free
+/// by whichever worker claimed that index.
+struct Slots<R> {
+    // lint: safety: cells are written at disjoint indices (one claim per index, see claim()) and read only after thread::scope joins
+    cells: Vec<UnsafeCell<Option<R>>>,
+}
+
+// lint: safety: sharing &Slots across workers is sound because each cell has exactly one writer (the claiming worker) and no reader until the scope joins; R: Send moves each result across exactly one thread boundary
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(n: usize) -> Self {
+        // lint: safety: empty cells; all cross-thread access is governed by the claim protocol documented on the field
+        Self { cells: (0..n).map(|_| UnsafeCell::new(None)).collect() }
+    }
+
+    /// # Safety
+    ///
+    /// `idx` must be claimed by the calling worker (sole writer), and
+    /// no reads may occur until the thread scope joins.
+    // lint: safety: contract stated above; the single caller holds a mutex-claimed idx inside the scope
+    unsafe fn put(&self, idx: usize, value: R) {
+        *self.cells[idx].get() = Some(value);
+    }
+
+    /// Consumes the buffer after the scope joined; every cell is full
+    /// because every index was claimed and every claimed index ran.
+    fn into_results(self) -> Vec<R> {
+        self.cells
+            .into_iter()
+            .map(|c| {
+                c.into_inner()
+                    .expect("sweep invariant violated: a submitted point produced no result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn serial_pool_maps_in_order() {
+        let points: Vec<u32> = (0..17).collect();
+        let out = SweepPool::serial().sweep(&points, |p| p * 2);
+        assert_eq!(out, (0..17).map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_results_arrive_in_submission_order() {
+        let points: Vec<usize> = (0..257).collect();
+        let out = SweepPool::new(8).sweep(&points, |&p| {
+            // Skew per-point latency so late indices finish first.
+            thread::sleep(Duration::from_micros((257 - p as u64) % 13));
+            p * 3
+        });
+        assert_eq!(out, (0..257).map(|p| p * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_point_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let points: Vec<usize> = (0..100).collect();
+        let out = SweepPool::new(4).sweep(&points, |&p| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            p
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn stealing_drains_a_skewed_grid() {
+        // One pathological point at the front: worker 0 gets stuck on it
+        // while the others must steal its remaining block to finish.
+        let points: Vec<usize> = (0..64).collect();
+        let out = SweepPool::new(4).sweep(&points, |&p| {
+            if p == 0 {
+                thread::sleep(Duration::from_millis(20));
+            }
+            p + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_jobs_than_points_is_fine() {
+        let points = [5u8, 6, 7];
+        assert_eq!(SweepPool::new(64).sweep(&points, |&p| p), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps() {
+        let none: Vec<u8> = Vec::new();
+        assert!(SweepPool::new(4).sweep(&none, |&p| p).is_empty());
+        assert_eq!(SweepPool::new(4).sweep(&[9u8], |&p| p), vec![9]);
+    }
+
+    #[test]
+    fn jobs_clamp_and_env_fallback() {
+        assert_eq!(SweepPool::new(0).jobs(), 1);
+        assert_eq!(SweepPool::new(3).jobs(), 3);
+        assert!(SweepPool::from_env().jobs() >= 1);
+    }
+
+    #[test]
+    fn seed_blocks_partition_the_index_space() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            for workers in [1usize, 2, 3, 8] {
+                let blocks = seed_blocks(n, workers);
+                let all: Vec<usize> = blocks.iter().flatten().copied().collect();
+                assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} workers={workers}");
+                let (min, max) = blocks
+                    .iter()
+                    .map(VecDeque::len)
+                    .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+                assert!(max - min <= 1, "uneven blocks: n={n} workers={workers}");
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: T1 must fire on the sweep-pool idiom — an `UnsafeCell`
+// result slot, the `unsafe impl Sync` that shares it across workers,
+// and the raw writes — when none of the sites carry a justification.
+use std::cell::UnsafeCell;
+
+pub struct Slots<R> {
+    cells: Vec<UnsafeCell<Option<R>>>,
+}
+
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    pub unsafe fn put(&self, idx: usize, value: R) {
+        unsafe { *self.cells[idx].get() = Some(value) }
+    }
+}

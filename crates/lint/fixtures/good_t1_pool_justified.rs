@@ -1,0 +1,20 @@
+// Fixture: the sweep-pool idiom with every site justified — T1 stays
+// silent and each site lands in the audit table with its why.
+// lint: safety: disjoint-index single-writer slots; read only after join
+use std::cell::UnsafeCell;
+
+pub struct Slots<R> {
+    // lint: safety: each index written by exactly one worker, once
+    cells: Vec<UnsafeCell<Option<R>>>,
+}
+
+// lint: safety: workers write disjoint indices; no cell is shared
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    // lint: safety: contract: callers pass a uniquely claimed idx
+    pub unsafe fn put(&self, idx: usize, value: R) {
+        // lint: safety: idx uniquely claimed from the deques, in bounds
+        unsafe { *self.cells[idx].get() = Some(value) }
+    }
+}

@@ -67,7 +67,7 @@ pub struct Rules {
 impl Default for Rules {
     fn default() -> Self {
         Self {
-            sim_crates: ["mem", "cpu", "core", "cache", "crypto"]
+            sim_crates: ["mem", "cpu", "core", "cache", "crypto", "exec"]
                 .map(String::from)
                 .to_vec(),
             d2_allow_crates: vec!["bench".to_string()],

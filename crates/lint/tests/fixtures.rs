@@ -89,6 +89,31 @@ fn good_t1_justified_sites_feed_the_audit_table() {
 }
 
 #[test]
+fn bad_t1_pool_fires_on_every_unsafe_sync_site() {
+    // The sweep executor's result-slot idiom: an `UnsafeCell` buffer
+    // (use + field), the `unsafe impl Sync`, the `unsafe fn`
+    // declaration, and the raw write — five unjustified sites.
+    let report = lint_as("bad_t1_pool_unsafe.rs", "crates/exec/src/fixture.rs");
+    assert_eq!(fired_rules(&report), vec!["T1", "T1", "T1", "T1", "T1"]);
+    let whats: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(whats.iter().any(|m| m.contains("UnsafeCell")));
+    assert!(whats.iter().any(|m| m.contains("`unsafe`")));
+    assert!(report.audit.is_empty());
+}
+
+#[test]
+fn good_t1_pool_justified_sites_feed_the_audit_table() {
+    let report = lint_as("good_t1_pool_justified.rs", "crates/exec/src/fixture.rs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    let whats: Vec<&str> = report.audit.iter().map(|a| a.what.as_str()).collect();
+    assert_eq!(whats, vec!["UnsafeCell", "UnsafeCell", "unsafe", "unsafe", "unsafe"]);
+    assert!(
+        report.audit.iter().all(|a| !a.justification.is_empty()),
+        "every audit row carries its why"
+    );
+}
+
+#[test]
 fn bad_c1_fires_on_cycle_narrowing() {
     let report = lint_as("bad_c1_narrowing.rs", "crates/mem/src/fixture.rs");
     assert_eq!(fired_rules(&report), vec!["C1", "C1"]);

@@ -40,3 +40,14 @@ pub use spec::{
     CODE_BASE, DRIFT_BASE, HOT_BASE, STREAM_BASE, STRESS_NAMES,
 };
 pub use trace::{TracePlayer, TraceRecorder};
+
+// Sweep workers each own a workload generator; keeping these `Send`
+// (checked at compile time, per the T1 audit) is what lets the sweep
+// executor hand a freshly built workload to any worker thread.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SpecProfile>();
+    assert_send::<SpecWorkload>();
+    assert_send::<TracePlayer>();
+    assert_send::<TraceRecorder<SpecWorkload>>();
+};

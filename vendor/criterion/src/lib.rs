@@ -270,6 +270,38 @@ fn record_baseline(label: &str, median_ns: f64, samples: usize) {
     }
 }
 
+/// Appends a `__walltime__/<bin>` record covering the bench binary's
+/// whole run to the `CRITERION_BASELINE` file, if the variable is set.
+/// `criterion_main!` calls this after the last group finishes, so a
+/// captured baseline carries the total capture wall-clock alongside the
+/// per-benchmark medians (`baseline_diff` sums and prints these instead
+/// of comparing them as benchmarks).
+pub fn record_walltime(elapsed: std::time::Duration) {
+    let bin = std::env::args()
+        .next()
+        .map(|arg0| {
+            std::path::Path::new(&arg0)
+                .file_stem()
+                .map_or_else(|| arg0.clone(), |s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let label = format!("__walltime__/{}", strip_metadata_hash(&bin));
+    record_baseline(&label, elapsed.as_secs_f64() * 1e9, 1);
+}
+
+/// Cargo names bench binaries `<target>-<16 hex metadata hash>`; strip
+/// the hash so walltime ids stay stable across builds and hosts.
+fn strip_metadata_hash(bin: &str) -> &str {
+    match bin.rsplit_once('-') {
+        Some((stem, hash))
+            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            stem
+        }
+        _ => bin,
+    }
+}
+
 fn format_ns(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.2} ns")
@@ -300,7 +332,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            let started = std::time::Instant::now();
             $( $group(); )+
+            $crate::record_walltime(started.elapsed());
         }
     };
 }
@@ -369,6 +403,34 @@ mod tests {
         assert!(line.starts_with("{\"id\":\"baseline_check/spin\""), "{line}");
         assert!(line.contains("\"median_ns\":"), "{line}");
         assert!(line.trim_end().ends_with("\"samples\":2}"), "{line}");
+    }
+
+    #[test]
+    fn metadata_hash_is_stripped_from_bin_names() {
+        assert_eq!(strip_metadata_hash("channel_sweep-6d4e9f0a1b2c3d4e"), "channel_sweep");
+        // Too short, non-hex, or missing: left alone.
+        assert_eq!(strip_metadata_hash("channel_sweep-abc"), "channel_sweep-abc");
+        assert_eq!(strip_metadata_hash("sweep-ghijklmnopqrstuv"), "sweep-ghijklmnopqrstuv");
+        assert_eq!(strip_metadata_hash("plain"), "plain");
+    }
+
+    #[test]
+    fn walltime_record_lands_in_the_baseline() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_walltime_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_BASELINE", &path);
+        record_walltime(std::time::Duration::from_millis(5));
+        std::env::remove_var("CRITERION_BASELINE");
+        let contents = std::fs::read_to_string(&path).expect("baseline file written");
+        let _ = std::fs::remove_file(&path);
+        let line = contents.lines().next().expect("one walltime record");
+        assert!(line.starts_with("{\"id\":\"__walltime__/"), "{line}");
+        assert!(line.contains("\"median_ns\":5000000.0"), "{line}");
+        assert!(line.trim_end().ends_with("\"samples\":1}"), "{line}");
     }
 
     #[test]
