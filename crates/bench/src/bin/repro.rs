@@ -22,6 +22,36 @@ use padlock_mem::{DrainOrder, PagePolicy, ROW_LINES};
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// Streams a simulated-throughput line to stderr after each sweep:
+/// cycles simulated since the previous lap, wall-time, and the
+/// resulting simulated-Mcycles/s rate. Stderr only — stdout tables
+/// stay byte-identical with or without the diagnostics.
+struct SweepRate {
+    cycles: u64,
+    started: Instant,
+}
+
+impl SweepRate {
+    fn start() -> Self {
+        Self {
+            cycles: padlock_bench::simulated_cycles(),
+            started: Instant::now(),
+        }
+    }
+
+    fn lap(&mut self, label: &str) {
+        let cycles = padlock_bench::simulated_cycles();
+        let seconds = self.started.elapsed().as_secs_f64();
+        let mcycles = (cycles - self.cycles) as f64 / 1e6;
+        eprintln!(
+            "({label}: {mcycles:.1} simulated Mcycles in {seconds:.2}s — {:.1} Mcyc/s)",
+            mcycles / seconds.max(1e-9)
+        );
+        self.cycles = cycles;
+        self.started = Instant::now();
+    }
+}
+
 struct Args {
     figure: Option<u32>,
     scale: RunScale,
@@ -38,6 +68,7 @@ struct Args {
     jobs: Option<usize>,
     idle_drain: bool,
     jsonl: Option<PathBuf>,
+    seed_core: bool,
 }
 
 impl Args {
@@ -103,6 +134,7 @@ fn parse_args() -> Args {
         jobs: None,
         idle_drain: false,
         jsonl: None,
+        seed_core: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -126,7 +158,7 @@ fn parse_args() -> Args {
                      \x20      [--calibrate [--snc]]\n\
                      \x20      [--mlp [--channels A,B,..] [--mshrs A,B,..] [--banks A,B,..]\n\
                      \x20       [--order fifo|row-first] [--page open|closed] [--idle-drain]\n\
-                     \x20       [--trace BENCH] [--jsonl FILE]]\n\
+                     \x20       [--trace BENCH] [--jsonl FILE] [--seed-core]]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
                      Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
                      --jobs fans every sweep across N worker threads (default:\n\
@@ -154,7 +186,9 @@ fn parse_args() -> Args {
                      --trace picks the recorded benchmark (default bfs, the\n\
                      miss-heavy graph-traversal workload); --jsonl streams the\n\
                      bank-sweep grid points as JSON lines to FILE (requires\n\
-                     --banks)."
+                     --banks); --seed-core routes the end-to-end sweep through\n\
+                     the pre-calendar seed run loop — byte-identical output,\n\
+                     which CI diffs against the fast-forward core."
                 );
                 std::process::exit(0);
             }
@@ -184,6 +218,7 @@ fn parse_args() -> Args {
                 args.jobs = Some(jobs);
             }
             "--idle-drain" => args.idle_drain = true,
+            "--seed-core" => args.seed_core = true,
             "--jsonl" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--jsonl needs a file path"));
                 args.jsonl = Some(PathBuf::from(v));
@@ -233,6 +268,9 @@ fn parse_args() -> Args {
     if args.jsonl.is_some() && args.banks.is_none() {
         usage_error("--jsonl streams the bank-sweep grid and requires --banks");
     }
+    if args.seed_core && (!args.mlp || args.banks.is_some()) {
+        usage_error("--seed-core applies to the --mlp end-to-end sweep (without --banks)");
+    }
     args
 }
 
@@ -277,6 +315,7 @@ fn snc_diag(lab: &mut Lab, kind: MachineKind) {
 }
 
 fn mlp(args: &Args, pool: &SweepPool) {
+    let mut rate = SweepRate::start();
     let lines = match args.scale {
         RunScale::Smoke => 1_024,
         RunScale::Quick => 4_096,
@@ -293,6 +332,7 @@ fn mlp(args: &Args, pool: &SweepPool) {
     let table =
         padlock_bench::mlp_table(pool, &[1, 2, 4, 8, 16, 32], &[1, 2, 4], &args.channels, lines);
     println!("{}", table.render_text());
+    rate.lap("engine sweep");
 
     let (warmup, measure) = args.scale.window();
     // The end-to-end sweep runs a full machine per cell; a fraction of
@@ -318,8 +358,10 @@ fn mlp(args: &Args, pool: &SweepPool) {
         args.order,
         args.page,
         args.idle_drain,
+        args.seed_core,
     );
     println!("{}", table.render_text());
+    rate.lap(if args.seed_core { "e2e sweep (seed core)" } else { "e2e sweep" });
 
     if let Some(bank_axis) = &args.banks {
         let channels = args.channels.iter().copied().max().unwrap_or(4);
@@ -363,6 +405,7 @@ fn mlp(args: &Args, pool: &SweepPool) {
         );
         let table = padlock_bench::bank_table_from(&traces, bank_axis, &selected);
         println!("{}", table.render_text());
+        rate.lap("bank sweep");
 
         if let Some(path) = &args.jsonl {
             std::fs::write(path, padlock_bench::grid_jsonl(&traces, &selected))
@@ -397,6 +440,7 @@ fn mlp(args: &Args, pool: &SweepPool) {
         };
         let table = padlock_bench::order_delta_table_from(&traces, bank_axis, fifo, rowf);
         println!("{}", table.render_text());
+        rate.lap("row-order delta sweep");
 
         println!(
             "\n== Idle-drain delta — drain_on_idle off vs on on the same machines =="
@@ -423,6 +467,7 @@ fn mlp(args: &Args, pool: &SweepPool) {
         let table =
             padlock_bench::idle_delta_table_from(&traces, bank_axis, off_grid, on_grid);
         println!("{}", table.render_text());
+        rate.lap("idle-drain delta sweep");
     }
 }
 
@@ -440,9 +485,11 @@ fn main() {
         return;
     }
     let mut lab = Lab::new(args.scale);
+    let mut rate = SweepRate::start();
     if args.calibrate {
         lab.prewarm(&pool, &padlock_bench::ORDER, &[MachineKind::Baseline]);
         calibrate(&mut lab);
+        rate.lap("calibration sweep");
         if args.snc {
             lab.prewarm(
                 &pool,
@@ -451,6 +498,7 @@ fn main() {
             );
             snc_diag(&mut lab, MachineKind::LruFull(32));
             snc_diag(&mut lab, MachineKind::LruFull(64));
+            rate.lap("snc diagnostics sweep");
         }
         eprintln!(
             "(calibration wall-clock: {:.2}s at {} jobs)",
@@ -478,6 +526,7 @@ fn main() {
         }
     }
     lab.prewarm(&pool, &padlock_bench::ORDER, &machines);
+    rate.lap("figure sweep");
     for n in wanted {
         let fig = match n {
             3 => lab.figure3(),

@@ -175,7 +175,9 @@ impl Lab {
         let ancient: Vec<u64> = workload.ancient_line_addrs().collect();
         let active: Vec<u64> = workload.active_line_addrs().collect();
         m.core_mut().hierarchy_mut().backend_mut().pre_age(ancient, active);
-        m.run(&mut workload, warmup, measure)
+        let measurement = m.run(&mut workload, warmup, measure);
+        crate::meter::record_simulated_cycles(measurement.stats.cycles);
+        measurement
     }
 
     /// Fills the memoisation cache for every `benchmark × machine`

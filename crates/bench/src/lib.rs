@@ -23,14 +23,17 @@
 
 mod figures;
 mod lab;
+mod meter;
 pub mod mlp;
 mod paper_data;
+pub mod seed_core;
 
 pub use figures::{figure_machines, FigureResult, Series};
 pub use lab::{Lab, MachineKind, RunScale};
+pub use meter::simulated_cycles;
 pub use mlp::{
-    bank_table, bank_table_from, banked_grid, e2e_table, grid_jsonl, idle_delta_table,
-    idle_delta_table_from, mlp_table, order_delta_table, order_delta_table_from, run_e2e_point,
-    run_mlp_point, E2eParams, E2ePoint, E2eTrace, MlpPoint,
+    bank_table, bank_table_from, banked_grid, e2e_machine_config, e2e_table, grid_jsonl,
+    idle_delta_table, idle_delta_table_from, inflight_for, mlp_table, order_delta_table,
+    order_delta_table_from, run_e2e_point, run_e2e_point_seed, run_mlp_point, E2eParams, E2ePoint, E2eTrace, MlpPoint,
 };
 pub use paper_data::{paper_series, ORDER};

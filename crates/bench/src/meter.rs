@@ -1,0 +1,27 @@
+//! Process-wide simulated-cycle meter.
+//!
+//! Every leaf simulation in this crate — an engine-sweep batch, an
+//! end-to-end trace point, a figure measurement — adds its simulated
+//! cycle count here, so drivers like `repro` can report a
+//! simulated-Mcycles-per-wall-second rate after each sweep. The meter
+//! is diagnostic only: it feeds stderr lines, never stdout, so table
+//! output stays byte-identical whether or not anyone reads it. The
+//! counter is monotone and process-wide (sweep-pool workers add from
+//! their own threads); callers snapshot it before and after a sweep
+//! and difference the two readings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SIMULATED_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Adds one simulation's cycle count to the process-wide meter.
+pub(crate) fn record_simulated_cycles(cycles: u64) {
+    SIMULATED_CYCLES.fetch_add(cycles, Ordering::Relaxed);
+}
+
+/// Total simulated cycles accumulated by every simulation this process
+/// has run so far. Monotone; memoised (cached) results are counted
+/// once, when they were actually simulated.
+pub fn simulated_cycles() -> u64 {
+    SIMULATED_CYCLES.load(Ordering::Relaxed)
+}

@@ -135,13 +135,15 @@ pub fn run_mlp_point(
     let reqs: Vec<(u64, LineKind)> =
         (0..lines).map(|i| (line_addr(i), LineKind::Data)).collect();
     let dones = backend.line_read_batch(0, &reqs);
+    let total_cycles = dones.into_iter().max().unwrap_or(0);
+    crate::meter::record_simulated_cycles(total_cycles);
     MlpPoint {
         max_inflight,
         snc_shards,
         mem_channels,
         mem_banks,
         reads: reqs.len(),
-        total_cycles: dones.into_iter().max().unwrap_or(0),
+        total_cycles,
     }
 }
 
@@ -255,6 +257,32 @@ impl E2eTrace {
     /// The trace's benchmark name.
     pub fn name(&self) -> &str {
         self.player.name()
+    }
+
+    /// A fresh replay cursor over the recorded ops (loops at the end).
+    pub fn clone_player(&self) -> TracePlayer {
+        self.player.clone()
+    }
+
+    /// Pre-aged "written long ago" line addresses for
+    /// [`SecureBackend::pre_age`].
+    pub fn ancient_lines(&self) -> &[u64] {
+        &self.ancient
+    }
+
+    /// Recently written line addresses for [`SecureBackend::pre_age`].
+    pub fn active_lines(&self) -> &[u64] {
+        &self.active
+    }
+
+    /// The recorded warm-up window length in ops.
+    pub fn warmup_ops(&self) -> u64 {
+        self.warmup
+    }
+
+    /// The recorded measurement window length in ops.
+    pub fn measure_ops(&self) -> u64 {
+        self.measure
     }
 }
 
@@ -405,6 +433,28 @@ pub fn run_e2e_point(trace: &E2eTrace, params: E2eParams) -> E2ePoint {
         .pre_age(trace.ancient.iter().copied(), trace.active.iter().copied());
     let mut player = trace.player.clone();
     let m = machine.run(&mut player, trace.warmup, trace.measure);
+    point_from(params, &m)
+}
+
+/// Runs one end-to-end cell through the *seed* run loop — the
+/// line-for-line port of the pre-calendar core in [`crate::seed_core`].
+/// `repro --mlp --seed-core` routes the end-to-end sweep through this,
+/// so CI can diff the two cores' tables byte-for-byte.
+pub fn run_e2e_point_seed(trace: &E2eTrace, params: E2eParams) -> E2ePoint {
+    let mut machine = crate::seed_core::SeedMachine::new(e2e_machine_config(params));
+    machine
+        .core_mut()
+        .hierarchy_mut()
+        .backend_mut()
+        .pre_age(trace.ancient.iter().copied(), trace.active.iter().copied());
+    let mut player = trace.player.clone();
+    let m = machine.run(&mut player, trace.warmup, trace.measure);
+    point_from(params, &m)
+}
+
+/// Extracts an [`E2ePoint`] from a finished measurement (either core).
+fn point_from(params: E2eParams, m: &padlock_core::Measurement) -> E2ePoint {
+    crate::meter::record_simulated_cycles(m.stats.cycles);
     E2ePoint {
         l2_mshrs: params.l2_mshrs,
         mem_channels: params.mem_channels,
@@ -433,7 +483,10 @@ pub fn inflight_for(l2_mshrs: usize) -> usize {
 /// order, page policy, and idle-drain trigger apply to every cell (on
 /// this flat `mem_banks = 1` grid the bank knobs are inert — the knob
 /// is exercised, the numbers match Fifo/Open exactly). All cells fan
-/// across `pool`.
+/// across `pool`. `seed_core` swaps every cell onto the seed run loop
+/// ([`run_e2e_point_seed`]); the `fastforward_vs_seed` differential
+/// makes the two tables byte-identical, which CI checks end to end.
+#[allow(clippy::too_many_arguments)]
 pub fn e2e_table(
     pool: &SweepPool,
     trace: &E2eTrace,
@@ -442,6 +495,7 @@ pub fn e2e_table(
     order: DrainOrder,
     page: PagePolicy,
     drain_on_idle: bool,
+    seed_core: bool,
 ) -> Table {
     let knobs = |p: E2eParams| {
         p.with_order(order).with_page(page).with_drain_on_idle(drain_on_idle)
@@ -454,7 +508,12 @@ pub fn e2e_table(
             }
         }
     }
-    let points = pool.sweep(&cells, |p| run_e2e_point(trace, *p));
+    let run = if seed_core {
+        run_e2e_point_seed
+    } else {
+        run_e2e_point
+    };
+    let points = pool.sweep(&cells, |p| run(trace, *p));
     let by_cell: BTreeMap<(usize, usize), E2ePoint> = cells
         .iter()
         .map(|p| (p.l2_mshrs, p.mem_channels))
@@ -828,12 +887,25 @@ mod tests {
             DrainOrder::Fifo,
             PagePolicy::Open,
             false,
+            false,
         );
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.col_count(), 3);
         let text = t.render_text();
         assert!(text.contains("4 channels"), "{text}");
         assert!(text.contains("CPI"), "{text}");
+        // The same grid through the seed run loop renders byte-identically.
+        let seed = e2e_table(
+            &SweepPool::new(2),
+            &trace,
+            &[1, 8],
+            &[1, 4],
+            DrainOrder::Fifo,
+            PagePolicy::Open,
+            false,
+            true,
+        );
+        assert_eq!(text, seed.render_text(), "seed-core table diverged");
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn e2e_table_is_byte_identical_across_jobs() {
             DrainOrder::Fifo,
             PagePolicy::Open,
             idle,
+            false,
         )
         .render_text();
         let pooled = e2e_table(
@@ -49,6 +50,7 @@ fn e2e_table_is_byte_identical_across_jobs() {
             DrainOrder::Fifo,
             PagePolicy::Open,
             idle,
+            false,
         )
         .render_text();
         assert_eq!(serial, pooled, "e2e table diverged (idle drain {idle})");

@@ -6,6 +6,7 @@
 //! this implementation pairs an ordered key map with an intrusive doubly
 //! linked list over a slab of nodes.
 
+use crate::stats::CacheStats;
 use padlock_stats::CounterSet;
 use std::collections::BTreeMap;
 
@@ -61,7 +62,8 @@ pub struct FullAssocCache<T> {
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
-    stats: CounterSet,
+    name: String,
+    stats: CacheStats,
 }
 
 impl<T> FullAssocCache<T> {
@@ -79,7 +81,8 @@ impl<T> FullAssocCache<T> {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
-            stats: CounterSet::new(name),
+            name: name.into(),
+            stats: CacheStats::default(),
         }
     }
 
@@ -103,8 +106,16 @@ impl<T> FullAssocCache<T> {
         self.map.len() == self.capacity
     }
 
-    /// Accumulated statistics: `hits`, `misses`, `evictions`, `writebacks`.
-    pub fn stats(&self) -> &CounterSet {
+    /// Accumulated statistics rendered as a counter set: `hits`,
+    /// `misses`, `evictions`, `writebacks`. The hot path bumps the
+    /// fixed-slot [`CacheStats`] fields; this snapshot is built on
+    /// demand.
+    pub fn stats(&self) -> CounterSet {
+        self.stats.to_counters(&self.name)
+    }
+
+    /// The fixed-slot statistics fields themselves.
+    pub fn raw_stats(&self) -> &CacheStats {
         &self.stats
     }
 
@@ -158,13 +169,13 @@ impl<T> FullAssocCache<T> {
     pub fn get(&mut self, key: u64) -> Option<&mut T> {
         match self.map.get(&key).copied() {
             Some(idx) => {
-                self.stats.incr("hits");
+                self.stats.hits += 1;
                 self.detach(idx);
                 self.push_front(idx);
                 Some(&mut self.node_mut(idx).payload)
             }
             None => {
-                self.stats.incr("misses");
+                self.stats.misses += 1;
                 None
             }
         }
@@ -242,9 +253,9 @@ impl<T> FullAssocCache<T> {
         self.detach(idx);
         let node = self.nodes[idx].take().expect("live node");
         self.free.push(idx);
-        self.stats.incr("evictions");
+        self.stats.evictions += 1;
         if node.dirty {
-            self.stats.incr("writebacks");
+            self.stats.writebacks += 1;
         }
         Some(FullAssocEvicted {
             addr: node.key,

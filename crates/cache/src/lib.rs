@@ -25,9 +25,11 @@
 mod config;
 mod fullassoc;
 mod setassoc;
+mod stats;
 mod write_buffer;
 
 pub use config::{CacheConfig, ReplacementPolicy};
 pub use fullassoc::FullAssocCache;
 pub use setassoc::{AccessKind, AccessOutcome, Evicted, SetAssocCache};
+pub use stats::CacheStats;
 pub use write_buffer::{WriteBuffer, WriteBufferEntry};

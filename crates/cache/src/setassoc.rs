@@ -1,6 +1,7 @@
 //! The set-associative cache timing model.
 
 use crate::config::{CacheConfig, ReplacementPolicy};
+use crate::stats::CacheStats;
 use padlock_stats::CounterSet;
 
 /// Whether an access reads or writes the line.
@@ -70,20 +71,19 @@ pub struct SetAssocCache<T> {
     sets: Vec<Vec<Line<T>>>,
     clock: u64,
     rng_state: u64,
-    stats: CounterSet,
+    stats: CacheStats,
 }
 
 impl<T: Default> SetAssocCache<T> {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
         let sets = (0..config.num_sets()).map(|_| Vec::new()).collect();
-        let stats = CounterSet::new(config.name());
         Self {
             config,
             sets,
             clock: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
-            stats,
+            stats: CacheStats::default(),
         }
     }
 
@@ -102,8 +102,16 @@ impl<T> SetAssocCache<T> {
         &self.config
     }
 
-    /// Accumulated statistics: `hits`, `misses`, `evictions`, `writebacks`.
-    pub fn stats(&self) -> &CounterSet {
+    /// Accumulated statistics rendered as a counter set: `hits`,
+    /// `misses`, `evictions`, `writebacks`. The hot path bumps the
+    /// fixed-slot [`CacheStats`] fields; this snapshot is built on
+    /// demand (see [`SetAssocCache::raw_stats`] for the fields).
+    pub fn stats(&self) -> CounterSet {
+        self.stats.to_counters(self.config.name())
+    }
+
+    /// The fixed-slot statistics fields themselves.
+    pub fn raw_stats(&self) -> &CacheStats {
         &self.stats
     }
 
@@ -148,14 +156,14 @@ impl<T> SetAssocCache<T> {
             if kind == AccessKind::Write {
                 line.dirty = true;
             }
-            self.stats.incr("hits");
+            self.stats.hits += 1;
             return AccessOutcome {
                 hit: true,
                 victim: None,
             };
         }
 
-        self.stats.incr("misses");
+        self.stats.misses += 1;
         let new_line = Line {
             addr: line_addr,
             valid: true,
@@ -184,9 +192,9 @@ impl<T> SetAssocCache<T> {
             ReplacementPolicy::Random => (self.xorshift() % ways as u64) as usize,
         };
         let old = std::mem::replace(&mut self.sets[set_idx][victim_idx], line);
-        self.stats.incr("evictions");
+        self.stats.evictions += 1;
         if old.dirty {
-            self.stats.incr("writebacks");
+            self.stats.writebacks += 1;
         }
         Some(Evicted {
             addr: old.addr,
@@ -283,9 +291,9 @@ impl<T> SetAssocCache<T> {
         for set in &mut self.sets {
             for line in set.drain(..) {
                 if line.dirty {
-                    self.stats.incr("writebacks");
+                    self.stats.writebacks += 1;
                 }
-                self.stats.incr("evictions");
+                self.stats.evictions += 1;
                 out.push(Evicted {
                     addr: line.addr,
                     dirty: line.dirty,

@@ -86,6 +86,48 @@ use padlock_mem::{ChannelSet, DrainOrder, PagePolicy, TrafficClass};
 use padlock_stats::CounterSet;
 use std::collections::{BTreeSet, VecDeque};
 
+/// Fixed-slot controller event counters, bumped as plain fields on
+/// the classify hot paths and rendered as a [`CounterSet`] on demand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ControllerStats {
+    xom_reads: u64,
+    clean_bypass_reads: u64,
+    otp_fast_reads: u64,
+    snc_fetch_reads: u64,
+    wb_forwarded_reads: u64,
+    mshr_merged_reads: u64,
+    norepl_direct_writes: u64,
+    first_writebacks: u64,
+    snc_fetch_updates: u64,
+    context_flush_entries: u64,
+}
+
+impl ControllerStats {
+    fn to_counters(self) -> CounterSet {
+        // Only touched counters appear, matching the shape the
+        // incrementally-built `CounterSet` had before the fixed-slot
+        // rewrite (readers use `get`, which defaults absent names to 0).
+        let mut set = CounterSet::new("controller");
+        for (name, n) in [
+            ("xom_reads", self.xom_reads),
+            ("clean_bypass_reads", self.clean_bypass_reads),
+            ("otp_fast_reads", self.otp_fast_reads),
+            ("snc_fetch_reads", self.snc_fetch_reads),
+            ("wb_forwarded_reads", self.wb_forwarded_reads),
+            ("mshr_merged_reads", self.mshr_merged_reads),
+            ("norepl_direct_writes", self.norepl_direct_writes),
+            ("first_writebacks", self.first_writebacks),
+            ("snc_fetch_updates", self.snc_fetch_updates),
+            ("context_flush_entries", self.context_flush_entries),
+        ] {
+            if n > 0 {
+                set.add(name, n);
+            }
+        }
+        set
+    }
+}
+
 /// The configurable secure memory controller.
 ///
 /// # Examples
@@ -117,7 +159,19 @@ pub struct SecureBackend {
     /// The bounded in-flight transaction queue (MSHR entries awaiting a
     /// drain).
     queue: VecDeque<MemTxn>,
-    stats: CounterSet,
+    stats: ControllerStats,
+    /// Window-scoped scratch buffers, recycled across [`Self::drain_window`]
+    /// calls so eager singleton windows do not allocate per miss. Always
+    /// left empty/idle between windows; carries no cross-window state.
+    scratch: WindowScratch,
+}
+
+/// Reusable drain-window buffers (see [`SecureBackend::scratch`]).
+#[derive(Debug, Default)]
+struct WindowScratch {
+    txns: Vec<MemTxn>,
+    slots: Vec<Slot>,
+    ports: Option<SncPorts>,
 }
 
 /// Sequence-number entries packed per spill transaction (128B line /
@@ -211,7 +265,8 @@ impl SecureBackend {
             written: BTreeSet::new(),
             pending_spills: 0,
             queue: VecDeque::new(),
-            stats: CounterSet::new("controller"),
+            stats: ControllerStats::default(),
+            scratch: WindowScratch::default(),
         }
     }
 
@@ -271,7 +326,7 @@ impl SecureBackend {
                 // Aging only affects modes with per-line state.
             }
         }
-        self.stats.reset();
+        self.stats = ControllerStats::default();
     }
 
     /// Buffers one evicted sequence number; every [`SPILL_BATCH`]th
@@ -337,9 +392,10 @@ impl SecureBackend {
     }
 
     /// Controller event counters (`otp_fast_reads`, `xom_reads`,
-    /// `snc_fetch_reads`, `mshr_merged_reads`, ...).
-    pub fn controller_stats(&self) -> &CounterSet {
-        &self.stats
+    /// `snc_fetch_reads`, `mshr_merged_reads`, ...) — a snapshot
+    /// rendered from the fixed-slot fields.
+    pub fn controller_stats(&self) -> CounterSet {
+        self.stats.to_counters()
     }
 
     /// Crypto pipeline latency for one line (the paper charges the
@@ -385,7 +441,7 @@ impl SecureBackend {
                 self.config.line_bytes,
             );
         }
-        self.stats.add("context_flush_entries", entries.len() as u64);
+        self.stats.context_flush_entries += entries.len() as u64;
         entries.len()
     }
 
@@ -432,7 +488,7 @@ impl SecureBackend {
                 );
             }
             SecurityMode::Xom => {
-                self.stats.incr("xom_reads");
+                self.stats.xom_reads += 1;
                 slot.path = Path::Direct;
                 Self::issue_or_defer(
                     &mut self.channels,
@@ -453,13 +509,13 @@ impl SecureBackend {
                     true
                 } else if self.config.clean_lines_bypass && !self.written.contains(&txn.line_addr)
                 {
-                    self.stats.incr("clean_bypass_reads");
+                    self.stats.clean_bypass_reads += 1;
                     true
                 } else {
                     false
                 };
                 if fast {
-                    self.stats.incr("otp_fast_reads");
+                    self.stats.otp_fast_reads += 1;
                     slot.path = Path::Fast;
                     Self::issue_or_defer(
                         &mut self.channels,
@@ -476,7 +532,7 @@ impl SecureBackend {
                 let lookup_at = ports.acquire(snc.shard_of(txn.line_addr), txn.arrival);
                 match snc.query(txn.line_addr) {
                     SncLookup::Hit(_) => {
-                        self.stats.incr("otp_fast_reads");
+                        self.stats.otp_fast_reads += 1;
                         slot.path = Path::Fast;
                         Self::issue_or_defer(
                             &mut self.channels,
@@ -492,7 +548,7 @@ impl SecureBackend {
                         // The line was encrypted directly when it was
                         // written while the SNC was full: XOM path.
                         SncPolicy::NoReplacement => {
-                            self.stats.incr("xom_reads");
+                            self.stats.xom_reads += 1;
                             slot.path = Path::Direct;
                             Self::issue_or_defer(
                                 &mut self.channels,
@@ -507,7 +563,7 @@ impl SecureBackend {
                         // (from the line's own channel); the decrypt and
                         // overlapped line fetch follow in later phases.
                         SncPolicy::Lru => {
-                            self.stats.incr("snc_fetch_reads");
+                            self.stats.snc_fetch_reads += 1;
                             slot.path = Path::SeqFetch;
                             Self::issue_or_defer(
                                 &mut self.channels,
@@ -531,19 +587,23 @@ impl SecureBackend {
         if self.queue.is_empty() {
             return;
         }
-        let window: Vec<MemTxn> = self.queue.drain(..).collect();
+        let mut window = std::mem::take(&mut self.scratch.txns);
+        window.extend(self.queue.drain(..));
         let mut crypto = CryptoTimeline::new(
             self.crypto_latency(),
             self.config.crypto_pipeline_width,
         );
-        let mut ports = SncPorts::new(self.config.snc_shards, self.config.snc_port_cycles);
+        let mut ports = match self.scratch.ports.take() {
+            Some(ports) => ports, // already reset when parked
+            None => SncPorts::new(self.config.snc_shards, self.config.snc_port_cycles),
+        };
         let defer = self.config.drain_order == DrainOrder::RowFirst;
-        let mut slots: Vec<Slot> = Vec::with_capacity(window.len());
+        let mut slots = std::mem::take(&mut self.scratch.slots);
 
         // Phase one: classify in arrival order, issue (Fifo) or
         // schedule (RowFirst) first accesses, and fully process posted
         // writebacks.
-        for txn in window {
+        for txn in window.drain(..) {
             let slot = match txn.op {
                 TxnOp::Writeback => {
                     self.process_writeback(txn.arrival, txn.line_addr);
@@ -562,11 +622,11 @@ impl SecureBackend {
                     });
                     match prev {
                         Some(p) if matches!(slots[p].txn.op, TxnOp::Writeback) => {
-                            self.stats.incr("wb_forwarded_reads");
+                            self.stats.wb_forwarded_reads += 1;
                             Slot::inert(txn, Path::WbForward)
                         }
                         Some(p) => {
-                            self.stats.incr("mshr_merged_reads");
+                            self.stats.mshr_merged_reads += 1;
                             Slot::inert(txn, Path::Alias(p))
                         }
                         None => self.classify_read(&txn, kind, &mut crypto, &mut ports, defer),
@@ -651,6 +711,13 @@ impl SecureBackend {
                 out.push(slot.done);
             }
         }
+
+        // Park the buffers (emptied, ports idled) for the next window.
+        slots.clear();
+        ports.reset();
+        self.scratch.txns = window;
+        self.scratch.slots = slots;
+        self.scratch.ports = Some(ports);
     }
 
     /// A posted writeback: encrypt (per mode), update SNC state, and
@@ -683,7 +750,7 @@ impl SecureBackend {
                             } else {
                                 // SNC full: direct (XOM-style) encryption
                                 // for this line, now and forever.
-                                self.stats.incr("norepl_direct_writes");
+                                self.stats.norepl_direct_writes += 1;
                                 now + crypto
                             }
                         }
@@ -692,11 +759,11 @@ impl SecureBackend {
                             if first_writeback {
                                 // Lazily-allocated sequence number: known
                                 // zero, no fetch needed (DESIGN.md §3).
-                                self.stats.incr("first_writebacks");
+                                self.stats.first_writebacks += 1;
                             } else {
                                 // Update miss, Algorithm 1 lines 13-25:
                                 // fetch + decrypt the old number first.
-                                self.stats.incr("snc_fetch_updates");
+                                self.stats.snc_fetch_updates += 1;
                                 let seq_fetched = self.channels.demand_read(
                                     now,
                                     line_addr,
@@ -768,6 +835,20 @@ impl MemoryBackend for SecureBackend {
         self.queue.is_empty() && self.channels.is_idle(now)
     }
 
+    fn eager_issue_safe(&self) -> bool {
+        // Every drain window gets fresh crypto-timeline and SNC-port
+        // state, so two reads sharing a window couple: pads coalesce
+        // into shared pipeline slots, same-shard lookups serialise on
+        // the ports, and FR-FCFS reorders the window. With
+        // `max_inflight = 1` (and FIFO order) every window holds one
+        // read anyway — the queue is empty between backend calls
+        // because `line_writeback` drains immediately — so issuing each
+        // miss as its own singleton window touches identical
+        // window-scoped state. (The `window_coupling_vetoes_eager_issue`
+        // test demonstrates the >1 counterexample.)
+        self.config.max_inflight == 1 && self.config.drain_order == DrainOrder::Fifo
+    }
+
     fn drain(&mut self, now: u64) {
         let mut out = Vec::new();
         self.drain_window(&mut out);
@@ -783,7 +864,7 @@ impl MemoryBackend for SecureBackend {
 
     fn reset_stats(&mut self) {
         self.channels.reset_stats();
-        self.stats.reset();
+        self.stats = ControllerStats::default();
         if let Some(snc) = self.snc.as_mut() {
             snc.reset_stats();
         }
@@ -1223,6 +1304,55 @@ mod tests {
             fifo.line_read_batch(0, &reqs),
             rowf.line_read_batch(0, &reqs)
         );
+    }
+
+    #[test]
+    fn window_coupling_vetoes_eager_issue() {
+        // `eager_issue_safe` promises that issuing each miss as its own
+        // singleton window is indistinguishable from the batched drain.
+        // At `max_inflight > 1` it is not: crypto-timeline slots, SNC
+        // ports, and bank state are window-scoped, so batch-mates
+        // contend inside one window but not across singleton windows.
+        // XOM decrypts every fetched line through the window's shared
+        // crypto pipeline. Four channels land the four fetches on the
+        // same cycle, so the batch serialises the decrypt issue slots
+        // while four singleton windows each start from a fresh
+        // pipeline.
+        let cfg = || {
+            plain_cfg(SecurityMode::Xom)
+                .with_max_inflight(8)
+                .with_mem_channels(4)
+        };
+        let reqs: Vec<(u64, u64, LineKind)> = (0..4u64)
+            .map(|i| (0, i * 128, LineKind::Data))
+            .collect();
+        let mut batched = SecureBackend::new(cfg());
+        let together = batched.line_read_batch_at(&reqs);
+        let mut singleton = SecureBackend::new(cfg());
+        let alone: Vec<u64> = reqs
+            .iter()
+            .map(|r| {
+                singleton
+                    .line_read_batch_at(&[*r])
+                    .first()
+                    .copied()
+                    .expect("singleton window returns one completion")
+            })
+            .collect();
+        assert_ne!(
+            together, alone,
+            "window-scoped contention must distinguish batched from \
+             singleton issue at max_inflight > 1"
+        );
+        assert!(!batched.eager_issue_safe());
+        // With singleton windows (the default config) the two regimes
+        // coincide, so the backend may declare eager issue safe; a
+        // reordering drain policy re-vetoes it.
+        assert!(SecureBackend::new(otp_cfg(SncPolicy::Lru, 1024)).eager_issue_safe());
+        assert!(!SecureBackend::new(
+            otp_cfg(SncPolicy::Lru, 1024).with_drain_order(DrainOrder::RowFirst)
+        )
+        .eager_issue_safe());
     }
 
     #[test]

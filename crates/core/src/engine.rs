@@ -173,6 +173,13 @@ impl SncPorts {
         }
     }
 
+    /// Returns every port to idle, keeping the shard geometry — so a
+    /// drain window can reuse one allocation instead of building a
+    /// fresh `SncPorts` per window.
+    pub fn reset(&mut self) {
+        self.free_at.fill(0);
+    }
+
     /// Acquires shard `shard`'s port for a probe wanted at `ready`;
     /// returns the cycle the probe actually starts (= its result
     /// cycle).

@@ -34,6 +34,44 @@ enum Storage {
     SetAssoc(SetAssocCache<u16>),
 }
 
+/// Fixed-slot SNC event counters, bumped as plain fields on the hot
+/// path and rendered as a [`CounterSet`] on demand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SncStats {
+    query_hits: u64,
+    query_misses: u64,
+    update_hits: u64,
+    update_misses: u64,
+    overflows: u64,
+    installs: u64,
+    spills: u64,
+    install_rejects: u64,
+}
+
+impl SncStats {
+    fn to_counters(self) -> CounterSet {
+        // Only touched counters appear, matching the shape the
+        // incrementally-built `CounterSet` had before the fixed-slot
+        // rewrite (readers use `get`, which defaults absent names to 0).
+        let mut set = CounterSet::new("snc");
+        for (name, n) in [
+            ("query_hits", self.query_hits),
+            ("query_misses", self.query_misses),
+            ("update_hits", self.update_hits),
+            ("update_misses", self.update_misses),
+            ("overflows", self.overflows),
+            ("installs", self.installs),
+            ("spills", self.spills),
+            ("install_rejects", self.install_rejects),
+        ] {
+            if n > 0 {
+                set.add(name, n);
+            }
+        }
+        set
+    }
+}
+
 /// The on-chip Sequence Number Cache.
 ///
 /// # Examples
@@ -51,7 +89,7 @@ enum Storage {
 pub struct SequenceNumberCache {
     config: SncConfig,
     storage: Storage,
-    stats: CounterSet,
+    stats: SncStats,
 }
 
 impl SequenceNumberCache {
@@ -84,7 +122,7 @@ impl SequenceNumberCache {
         Self {
             config,
             storage,
-            stats: CounterSet::new("snc"),
+            stats: SncStats::default(),
         }
     }
 
@@ -94,14 +132,15 @@ impl SequenceNumberCache {
     }
 
     /// Event counters: `query_hits`, `query_misses`, `update_hits`,
-    /// `update_misses`, `installs`, `spills`, `overflows`.
-    pub fn stats(&self) -> &CounterSet {
-        &self.stats
+    /// `update_misses`, `installs`, `spills`, `overflows` — a snapshot
+    /// rendered from the fixed-slot fields.
+    pub fn stats(&self) -> CounterSet {
+        self.stats.to_counters()
     }
 
     /// Resets statistics, keeping contents.
     pub fn reset_stats(&mut self) {
-        self.stats.reset();
+        self.stats = SncStats::default();
         match &mut self.storage {
             Storage::Full(c) => c.reset_stats(),
             Storage::SetAssoc(c) => c.reset_stats(),
@@ -138,11 +177,11 @@ impl SequenceNumberCache {
         };
         match found {
             Some(seq) => {
-                self.stats.incr("query_hits");
+                self.stats.query_hits += 1;
                 SncLookup::Hit(seq)
             }
             None => {
-                self.stats.incr("query_misses");
+                self.stats.query_misses += 1;
                 SncLookup::Miss
             }
         }
@@ -167,14 +206,14 @@ impl SequenceNumberCache {
         };
         match new {
             Some(seq) => {
-                self.stats.incr("update_hits");
+                self.stats.update_hits += 1;
                 if seq == 1 {
-                    self.stats.incr("overflows");
+                    self.stats.overflows += 1;
                 }
                 Some(seq)
             }
             None => {
-                self.stats.incr("update_misses");
+                self.stats.update_misses += 1;
                 None
             }
         }
@@ -186,7 +225,7 @@ impl SequenceNumberCache {
     /// the caller charges encryption + a memory write. Under
     /// no-replacement use [`SequenceNumberCache::try_install`] instead.
     pub fn install(&mut self, line_addr: u64, seq: u16) -> Option<EvictedSeq> {
-        self.stats.incr("installs");
+        self.stats.installs += 1;
         let evicted = match &mut self.storage {
             Storage::Full(c) => c
                 .insert(line_addr, seq, true)
@@ -200,7 +239,7 @@ impl SequenceNumberCache {
             }),
         };
         if evicted.is_some() {
-            self.stats.incr("spills");
+            self.stats.spills += 1;
         }
         evicted
     }
@@ -208,7 +247,7 @@ impl SequenceNumberCache {
     /// No-replacement install: succeeds only when a free slot exists.
     pub fn try_install(&mut self, line_addr: u64, seq: u16) -> bool {
         if !self.has_room_for(line_addr) {
-            self.stats.incr("install_rejects");
+            self.stats.install_rejects += 1;
             return false;
         }
         let evicted = self.install(line_addr, seq);

@@ -89,7 +89,7 @@ impl SncShards {
     pub fn stats(&self) -> CounterSet {
         let mut all = CounterSet::new("snc");
         for shard in &self.shards {
-            all.merge(shard.stats());
+            all.merge(&shard.stats());
         }
         all
     }

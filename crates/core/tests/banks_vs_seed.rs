@@ -147,7 +147,7 @@ impl SeedChannelSet {
     fn stats(&self) -> CounterSet {
         let mut all = CounterSet::new("mem");
         for ch in &self.channels {
-            all.merge(ch.mem.stats());
+            all.merge(&ch.mem.stats());
         }
         all
     }
@@ -319,8 +319,8 @@ fn assert_backend_equivalent(mode: SecurityMode, channels: usize, inflight: usiz
         "traffic diverged ({mode}, {channels}ch, mlp{inflight})"
     );
     assert_eq!(
-        counters(a.controller_stats()),
-        counters(b.controller_stats()),
+        counters(&a.controller_stats()),
+        counters(&b.controller_stats()),
         "controller diverged ({mode}, {channels}ch, mlp{inflight})"
     );
     if let Some(snc) = a.snc() {

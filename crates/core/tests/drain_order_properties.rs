@@ -162,8 +162,8 @@ proptest! {
             .zip(rowf.channels().channels().iter())
             .enumerate()
         {
-            let ca = counters(a.mem().stats());
-            let cb = counters(b.mem().stats());
+            let ca = counters(&a.mem().stats());
+            let cb = counters(&b.mem().stats());
             for key in ca.keys() {
                 if key == "row_hits" || key == "row_conflicts" {
                     continue;
@@ -175,8 +175,8 @@ proptest! {
         // Controller events (incl. mshr_merged_reads) and SNC counters:
         // classification runs in arrival order under both.
         prop_assert_eq!(
-            counters(fifo.controller_stats()),
-            counters(rowf.controller_stats()),
+            counters(&fifo.controller_stats()),
+            counters(&rowf.controller_stats()),
             "controller counters diverged"
         );
         prop_assert_eq!(

@@ -251,11 +251,11 @@ fn assert_equivalent(mode: SecurityMode, occupancy: u64, slow_crypto: bool, seed
     }
     assert_eq!(
         counters(&engine.traffic()),
-        counters(reference.channel.mem().stats()),
+        counters(&reference.channel.mem().stats()),
         "traffic counters diverged"
     );
     assert_eq!(
-        counters(engine.controller_stats()),
+        counters(&engine.controller_stats()),
         counters(&reference.stats),
         "controller counters diverged"
     );
@@ -263,7 +263,7 @@ fn assert_equivalent(mode: SecurityMode, occupancy: u64, slow_crypto: bool, seed
         let ref_snc = reference.snc.as_ref().expect("both models run the same mode");
         assert_eq!(
             counters(&snc.stats()),
-            counters(ref_snc.stats()),
+            counters(&ref_snc.stats()),
             "snc counters diverged"
         );
         assert_eq!(snc.occupancy(), ref_snc.occupancy());

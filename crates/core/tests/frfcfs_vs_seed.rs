@@ -610,7 +610,7 @@ fn assert_engine_equivalent(
         "traffic diverged ({tag})"
     );
     assert_eq!(
-        counters(new.controller_stats()),
+        counters(&new.controller_stats()),
         counters(&old.stats),
         "controller diverged ({tag})"
     );

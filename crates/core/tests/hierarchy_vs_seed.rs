@@ -95,7 +95,7 @@ impl<B: MemoryBackend> SeedHierarchy<B> {
     }
 }
 
-fn counters(set: &CounterSet) -> BTreeMap<String, u64> {
+fn counters(set: CounterSet) -> BTreeMap<String, u64> {
     set.iter().map(|(k, v)| (k.to_string(), v)).collect()
 }
 
@@ -165,20 +165,20 @@ fn assert_equivalent(mode: SecurityMode, occupancy: u64, slow_crypto: bool, seed
     assert_eq!(counters(new.l1d_stats()), counters(old.l1d.stats()), "L1D");
     assert_eq!(counters(new.l2_stats()), counters(old.l2.stats()), "L2");
     assert_eq!(
-        counters(&new.backend().traffic()),
-        counters(&old.backend.traffic()),
+        counters(new.backend().traffic()),
+        counters(old.backend.traffic()),
         "traffic counters diverged"
     );
     assert_eq!(
-        counters(new.backend().controller_stats()),
-        counters(old.backend.controller_stats()),
+        counters(new.backend().controller_stats().clone()),
+        counters(old.backend.controller_stats().clone()),
         "controller counters diverged"
     );
     if let Some(snc) = new.backend().snc() {
         let old_snc = old.backend.snc().expect("same mode");
         assert_eq!(
-            counters(&snc.stats()),
-            counters(&old_snc.stats()),
+            counters(snc.stats()),
+            counters(old_snc.stats()),
             "snc counters diverged"
         );
         assert_eq!(snc.occupancy(), old_snc.occupancy());

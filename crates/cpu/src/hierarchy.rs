@@ -25,6 +25,22 @@
 //! identical to the historical blocking implementation — the
 //! `hierarchy_vs_seed` differential test in `padlock-core` enforces it
 //! across every security mode.
+//!
+//! # Scheduled (eager) completions
+//!
+//! With [`HierarchyConfig::eager_completions`] enabled and a backend
+//! that declares [`MemoryBackend::eager_issue_safe`], a miss is issued
+//! the moment its MSHR allocates and the returned completion cycle is
+//! recorded on the entry. The access resolves immediately with a real
+//! cycle — no parked [`Access::Pending`] loads, so an event-driven core
+//! can jump over memory stalls via [`Hierarchy::next_completion`]
+//! instead of falling back to batched stall-on-use drains. The entry
+//! lingers as a merge target until simulated time passes its completion
+//! ([`Hierarchy::retire_completed`]). Eager issue is only offered where
+//! it is bit-exact with batching: backends whose per-window resources
+//! (crypto pipeline slots, SNC ports, FR-FCFS reordering) could couple
+//! two requests of one batch report `eager_issue_safe() == false` and
+//! keep the accumulate-then-drain protocol.
 
 use padlock_cache::{AccessKind, CacheConfig, SetAssocCache};
 use padlock_mem::{ChannelSet, TrafficClass};
@@ -89,6 +105,24 @@ pub trait MemoryBackend {
     /// Accepts a dirty L2 victim for (encryption and) writeback.
     fn line_writeback(&mut self, now: u64, line_addr: u64);
 
+    /// Whether issuing each miss to this backend the moment it
+    /// allocates an MSHR — as a singleton batch at its own arrival —
+    /// is *bit-exact* with accumulating misses and draining them later
+    /// in one [`MemoryBackend::line_read_batch_at`] call.
+    ///
+    /// That holds only when the backend's per-batch (window-scoped)
+    /// resources can never couple two requests of one batch: with more
+    /// than one in-flight transaction per window, crypto-pipeline
+    /// coalescing, SNC port contention, and FR-FCFS reordering all make
+    /// a request's latency depend on its window mates, so eager
+    /// singleton windows would diverge from batched ones. Backends
+    /// return `true` only for configurations where every window is a
+    /// singleton anyway (e.g. `max_inflight == 1`, FIFO drain order).
+    /// The default is `false`: batching semantics are always safe.
+    fn eager_issue_safe(&self) -> bool {
+        false
+    }
+
     /// Whether the backend's memory fabric is quiescent at `now` — no
     /// channel bus or bank busy, no transaction queued, no buffered
     /// writeback awaiting a flush. This is the signal an adaptive MSHR
@@ -145,6 +179,18 @@ pub struct HierarchyConfig {
     /// misses accumulate until the file fills or a caller forces a
     /// drain, the seed behaviour, bit-exact with every differential.
     pub drain_on_idle: bool,
+    /// When `true` *and* the backend reports
+    /// [`MemoryBackend::eager_issue_safe`], every L2 miss is issued to
+    /// the backend the moment its MSHR allocates: the returned
+    /// completion cycle is recorded on the entry (a *scheduled*
+    /// completion), the access resolves immediately with it, and the
+    /// entry lingers only as a merge target until simulated time passes
+    /// the completion ([`Hierarchy::retire_completed`]). This removes
+    /// parked `Pending` loads entirely, so an event-driven core can
+    /// jump straight over memory stalls instead of falling back to
+    /// batched stall-on-use drains. Default `false`: accumulate-then-
+    /// drain, the seed behaviour.
+    pub eager_completions: bool,
 }
 
 impl HierarchyConfig {
@@ -160,6 +206,7 @@ impl HierarchyConfig {
             l2_latency: 6,
             l2_mshrs: 1,
             drain_on_idle: false,
+            eager_completions: false,
         }
     }
 
@@ -182,6 +229,15 @@ impl HierarchyConfig {
     /// backend's fabric is idle (see [`HierarchyConfig::drain_on_idle`]).
     pub fn with_drain_on_idle(mut self, on: bool) -> Self {
         self.drain_on_idle = on;
+        self
+    }
+
+    /// Builder: schedule each miss's completion at allocation instead of
+    /// parking it (see [`HierarchyConfig::eager_completions`]); only
+    /// takes effect with a backend whose
+    /// [`MemoryBackend::eager_issue_safe`] is `true`.
+    pub fn with_eager_completions(mut self, on: bool) -> Self {
+        self.eager_completions = on;
         self
     }
 }
@@ -217,6 +273,12 @@ struct MshrEntry {
     /// Cycle the miss left L2 (latency is charged from here no matter
     /// when the batch drains).
     issue_at: u64,
+    /// The scheduled completion cycle, known at allocation when the
+    /// miss was issued eagerly ([`HierarchyConfig::eager_completions`]);
+    /// `None` while the miss waits for a batch drain. A scheduled entry
+    /// stays in the file purely as a merge target until simulated time
+    /// passes its completion.
+    completion: Option<u64>,
 }
 
 /// One pending access waiting on an MSHR: the primary miss itself, or a
@@ -299,23 +361,23 @@ impl<B: MemoryBackend> Hierarchy<B> {
         &mut self.backend
     }
 
-    /// L1I statistics.
-    pub fn l1i_stats(&self) -> &CounterSet {
+    /// L1I statistics (snapshot of the cache's fixed-slot counters).
+    pub fn l1i_stats(&self) -> CounterSet {
         self.l1i.stats()
     }
 
-    /// L1D statistics.
-    pub fn l1d_stats(&self) -> &CounterSet {
+    /// L1D statistics (snapshot of the cache's fixed-slot counters).
+    pub fn l1d_stats(&self) -> CounterSet {
         self.l1d.stats()
     }
 
-    /// L2 statistics.
-    pub fn l2_stats(&self) -> &CounterSet {
+    /// L2 statistics (snapshot of the cache's fixed-slot counters).
+    pub fn l2_stats(&self) -> CounterSet {
         self.l2.stats()
     }
 
     /// MSHR file statistics: `allocations`, `merges`, `full_drains`,
-    /// `forced_drains`.
+    /// `idle_drains`, `eager_issues`, `eager_evictions`.
     pub fn mshr_stats(&self) -> &CounterSet {
         &self.mshr_stats
     }
@@ -341,26 +403,72 @@ impl<B: MemoryBackend> Hierarchy<B> {
     }
 
     /// Registers a pending access (primary or merged) on MSHR `mshr`.
+    /// If the entry's completion is already scheduled (eager issue), the
+    /// resolution is queued immediately instead of storing a waiter.
     fn wait_on(&mut self, mshr: usize, floor: u64) -> AccessToken {
         let token = self.new_token();
-        self.waiters.push(Waiter { token, mshr, floor });
+        if let Some(done) = self.mshrs[mshr].completion {
+            self.resolutions.push((token, done.max(floor)));
+        } else {
+            self.waiters.push(Waiter { token, mshr, floor });
+        }
         token
     }
 
-    /// L2 misses currently held in the MSHR file (not yet issued to the
-    /// backend).
+    /// L2 misses currently held in the MSHR file and not yet issued to
+    /// the backend (scheduled entries awaiting retirement don't count:
+    /// their fills are already in flight with known completions).
     pub fn pending_misses(&self) -> usize {
-        self.mshrs.len()
+        self.mshrs
+            .iter()
+            .filter(|m| m.completion.is_none())
+            .count()
+    }
+
+    /// The earliest scheduled miss completion the caller has not yet
+    /// collected: the minimum over queued resolutions and over
+    /// eagerly issued MSHR entries. `None` when nothing is scheduled
+    /// (un-issued misses have no completion cycle until a drain).
+    ///
+    /// This is an event source for an event-driven core's time jump:
+    /// together with the completion cycles already handed out, it
+    /// bounds the next cycle at which hierarchy state can change.
+    pub fn next_completion(&self) -> Option<u64> {
+        let scheduled = self.mshrs.iter().filter_map(|m| m.completion).min();
+        let queued = self.resolutions.iter().map(|&(_, done)| done).min();
+        match (scheduled, queued) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Drops scheduled (eagerly issued) MSHR entries whose completion
+    /// cycle the clock has passed: once the fill has landed, the line is
+    /// plain L2 state and the entry's merge window closes.
+    pub fn retire_completed(&mut self, now: u64) {
+        if self.mshrs.is_empty() {
+            return;
+        }
+        self.mshrs
+            .retain(|m| m.completion.is_none_or(|done| done > now));
     }
 
     /// Issues every in-flight miss to the backend in one batch
     /// (each at its own arrival cycle) and resolves all waiters. The
     /// completion cycles are collected via
     /// [`Hierarchy::take_resolutions`].
+    ///
+    /// Scheduled entries (eager issue) are not re-issued: their
+    /// completions were already delivered at allocation, so a file
+    /// holding only scheduled entries drains to nothing.
     pub fn drain_pending(&mut self) {
-        if self.mshrs.is_empty() {
-            return;
+        if self.mshrs.iter().all(|m| m.completion.is_some()) {
+            return; // empty, or everything already scheduled
         }
+        // The file is homogeneous in practice: eager mode schedules
+        // every entry at allocation, so a drain only ever sees
+        // unscheduled entries (waiter indices below rely on this).
+        debug_assert!(self.mshrs.iter().all(|m| m.completion.is_none()));
         let reqs: Vec<(u64, u64, LineKind)> = self
             .mshrs
             .iter()
@@ -408,6 +516,7 @@ impl<B: MemoryBackend> Hierarchy<B> {
     /// blocks — but it first drains any pending data misses (their
     /// latencies are unaffected: each is charged from its own arrival).
     pub fn inst_fetch(&mut self, now: u64, pc: u64) -> u64 {
+        self.retire_completed(now);
         let t = now + self.config.l1_latency;
         let outcome = self.l1i.access(pc, AccessKind::Read);
         if outcome.hit {
@@ -439,6 +548,7 @@ impl<B: MemoryBackend> Hierarchy<B> {
     /// misses, or [`Access::Pending`] when the access waits on an
     /// in-flight L2 miss (its own, or an earlier one it merged into).
     pub fn data_access_nb(&mut self, now: u64, addr: u64, is_store: bool) -> Access {
+        self.retire_completed(now);
         let kind = if is_store {
             AccessKind::Write
         } else {
@@ -490,10 +600,46 @@ impl<B: MemoryBackend> Hierarchy<B> {
         // Allocate an MSHR. The file can never be full here: any
         // allocation that fills it drains synchronously below.
         self.mshr_stats.incr("allocations");
+        if self.config.eager_completions && self.backend.eager_issue_safe() {
+            // Scheduled completion: issue the miss now as a singleton
+            // batch at its own arrival (bit-exact with batching, per
+            // the backend's own safety declaration) and record the
+            // completion on the entry. The entry lingers as a merge
+            // target until the clock passes the completion.
+            if self.mshrs.len() == self.config.l2_mshrs {
+                // Capacity: free the register whose fill lands soonest
+                // (every resident entry is scheduled in eager mode).
+                if let Some((idx, _)) = self
+                    .mshrs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, m)| m.completion.map(|d| (i, d)))
+                    .min_by_key(|&(_, d)| d)
+                {
+                    self.mshrs.remove(idx);
+                    self.mshr_stats.incr("eager_evictions");
+                }
+            }
+            let done = self
+                .backend
+                .line_read_batch_at(&[(t2, line_addr, kind)])
+                .first()
+                .copied()
+                .expect("backend returns one completion per request");
+            self.mshrs.push(MshrEntry {
+                line_addr,
+                kind,
+                issue_at: t2,
+                completion: Some(done),
+            });
+            self.mshr_stats.incr("eager_issues");
+            return Access::Ready(done.max(t2));
+        }
         self.mshrs.push(MshrEntry {
             line_addr,
             kind,
             issue_at: t2,
+            completion: None,
         });
         let token = self.wait_on(self.mshrs.len() - 1, t2);
         if self.mshrs.len() == self.config.l2_mshrs {
@@ -670,6 +816,15 @@ impl MemoryBackend for InsecureBackend {
 
     fn is_idle(&self, now: u64) -> bool {
         self.channels.is_idle(now)
+    }
+
+    fn eager_issue_safe(&self) -> bool {
+        // FIFO order issues a batch's reads one at a time against the
+        // channel state, so N singleton batches are identical to one
+        // N-request batch; FR-FCFS reorders within a batch and is not.
+        // Writebacks go straight to the channels at call time either
+        // way, so no queued state couples to batch boundaries.
+        self.drain_order == padlock_mem::DrainOrder::Fifo
     }
 
     fn drain(&mut self, now: u64) {
@@ -1126,6 +1281,129 @@ mod tests {
     #[test]
     fn insecure_label() {
         assert_eq!(InsecureBackend::new(100, 8).label(), "baseline");
+    }
+
+    fn hierarchy_eager(n: usize) -> Hierarchy<InsecureBackend> {
+        Hierarchy::new(
+            HierarchyConfig::paper_default()
+                .with_l2_mshrs(n)
+                .with_eager_completions(true),
+            InsecureBackend::new(100, 8),
+        )
+    }
+
+    #[test]
+    fn eager_completions_schedule_misses_at_allocation() {
+        let mut h = hierarchy_eager(4);
+        // The miss issues immediately with a real completion cycle —
+        // no parked Pending access, no batch drain needed.
+        match h.data_access_nb(0, 0x10_0000, false) {
+            Access::Ready(done) => assert_eq!(done, 107),
+            Access::Pending(_) => panic!("eager miss must resolve at allocation"),
+        }
+        assert_eq!(h.backend().traffic().get("line_reads"), 1);
+        assert_eq!(h.mshr_stats().get("eager_issues"), 1);
+        assert_eq!(h.mshr_stats().get("full_drains"), 0);
+        // The entry lingers as a merge target, but it is not a pending
+        // (un-issued) miss: nothing forces a stall-on-use drain.
+        assert_eq!(h.pending_misses(), 0);
+        assert_eq!(h.next_completion(), Some(107));
+        // Time passes the completion: the entry retires and the line is
+        // plain L2 state (the fill landed).
+        h.retire_completed(200);
+        assert_eq!(h.next_completion(), None);
+    }
+
+    #[test]
+    fn eager_merge_window_stays_open_until_the_fill_lands() {
+        let mut h = hierarchy_eager(4);
+        let Access::Ready(done_a) = h.data_access_nb(0, 0x10_0000, false) else {
+            panic!("eager miss resolves at allocation");
+        };
+        // Same L2 line while the fill is in flight: merges against the
+        // scheduled entry, resolving immediately to the fill's cycle.
+        let Access::Pending(tok) = h.data_access_nb(1, 0x10_0040, false) else {
+            panic!("merged access resolves through a token");
+        };
+        let mut resolved = Vec::new();
+        h.take_resolutions(&mut resolved);
+        assert_eq!(resolved, vec![(tok, done_a)]);
+        assert_eq!(h.mshr_stats().get("merges"), 1);
+        assert_eq!(h.backend().traffic().get("line_reads"), 1, "one fill");
+        // After the fill lands, the same line is an ordinary L2 hit.
+        let t = h.data_access(done_a + 10, 0x10_0040, false);
+        assert_eq!(t, done_a + 10 + 1);
+        assert_eq!(h.backend().traffic().get("line_reads"), 1);
+    }
+
+    #[test]
+    fn eager_mode_matches_batched_completions_per_miss() {
+        // Distinct lines, uncontended fabric: eager singleton issue and
+        // accumulate-then-drain charge identical per-miss completions
+        // (each from its own arrival).
+        let mut eager = Hierarchy::new(
+            HierarchyConfig::paper_default()
+                .with_l2_mshrs(8)
+                .with_eager_completions(true),
+            InsecureBackend::new(100, 0),
+        );
+        let mut batched = Hierarchy::new(
+            HierarchyConfig::paper_default().with_l2_mshrs(8),
+            InsecureBackend::new(100, 0),
+        );
+        for i in 0..6u64 {
+            let addr = 0x30_0000 + i * 256;
+            let Access::Ready(done_e) = eager.data_access_nb(i * 5, addr, false) else {
+                panic!("eager miss resolves at allocation");
+            };
+            let done_b = match batched.data_access_nb(i * 5, addr, false) {
+                Access::Ready(done) => done,
+                Access::Pending(tok) => batched.resolve(tok),
+            };
+            assert_eq!(done_e, done_b, "miss {i}");
+        }
+        assert_eq!(
+            eager.backend().traffic().get("line_reads"),
+            batched.backend().traffic().get("line_reads")
+        );
+    }
+
+    #[test]
+    fn eager_capacity_evicts_the_soonest_fill() {
+        let mut h = hierarchy_eager(2);
+        // Fill the 2-entry file with scheduled completions.
+        let _ = h.data_access_nb(0, 0x10_0000, false);
+        let _ = h.data_access_nb(0, 0x10_0080, false);
+        assert_eq!(h.mshr_stats().get("eager_issues"), 2);
+        // A third miss at the same cycle: capacity forces the entry with
+        // the earliest completion out of the file.
+        let _ = h.data_access_nb(0, 0x10_0100, false);
+        assert_eq!(h.mshr_stats().get("eager_evictions"), 1);
+        assert_eq!(h.mshr_stats().get("eager_issues"), 3);
+    }
+
+    #[test]
+    fn eager_requires_backend_safety() {
+        // FR-FCFS reorders within a batch, so the backend vetoes eager
+        // issue and misses park exactly as in batching mode.
+        let mut h = Hierarchy::new(
+            HierarchyConfig::paper_default()
+                .with_l2_mshrs(4)
+                .with_eager_completions(true),
+            InsecureBackend::new(100, 8)
+                .with_banks(2)
+                .with_drain_order(padlock_mem::DrainOrder::RowFirst),
+        );
+        assert!(!h.backend().eager_issue_safe());
+        assert!(matches!(
+            h.data_access_nb(0, 0x10_0000, false),
+            Access::Pending(_)
+        ));
+        assert_eq!(h.pending_misses(), 1);
+        assert_eq!(h.mshr_stats().get("eager_issues"), 0);
+        assert_eq!(h.next_completion(), None, "parked misses are unscheduled");
+        h.drain_pending();
+        assert!(h.next_completion().is_some(), "drain schedules resolutions");
     }
 
     #[test]

@@ -1,10 +1,51 @@
 //! The out-of-order execution engine: fetch/dispatch, issue, complete,
-//! commit over a reorder buffer, with event-skipping for speed.
+//! commit over a reorder buffer, with event-driven fast-forwarding.
+//!
+//! # Fast-forward core
+//!
+//! The run loop is event-driven rather than cycle-scanned. Two
+//! structures replace the seed core's per-cycle O(|ROB|) rescans (the
+//! seed loop is preserved verbatim in `padlock-bench`'s `seed_core`
+//! module and the `fastforward_vs_seed` differential proves the two
+//! produce bit-exact cycles and counters):
+//!
+//! * **Completion calendar** — a min-heap of future completion cycles.
+//!   Every issue and every miss resolution pushes the op's completion
+//!   cycle; when no fetch/dispatch/issue/commit can occur, `now` jumps
+//!   straight to the earliest future event (folding in the fetch gates
+//!   and [`Hierarchy::next_completion`]) instead of scanning the ROB.
+//!   Stale entries (cycles the clock has passed) are popped lazily.
+//!
+//! * **Incremental issue readiness** — instead of re-testing every
+//!   un-issued slot's dependences each cycle, each producer slot keeps
+//!   the list of its in-ROB consumers. When a producer's completion
+//!   cycle becomes known (at issue, or when an L2 miss resolves), its
+//!   consumers' outstanding-dependence counts are decremented and each
+//!   newly unblocked consumer is filed either into the *ready sets*
+//!   (two `BTreeSet`s in program order, memory vs. non-memory ops) or
+//!   into a *ready calendar* keyed by the cycle its last producer
+//!   completes. Issue then merge-walks the two ready sets oldest-first,
+//!   reproducing the seed scan's order exactly: the overall issue-width
+//!   cap stops the walk, while the memory-port cap skips memory ops but
+//!   lets younger non-memory ops through.
+//!
+//! Readiness cycles never need their own calendar events: a consumer's
+//! `ready_at` equals some producer's completion cycle, which is already
+//! in the completion calendar (a producer whose completion is still in
+//! the future cannot have committed).
+//!
+//! Loads that miss past the L2 park with a [`PENDING`] completion until
+//! the MSHR file schedules or drains them (see
+//! [`Hierarchy`](crate::hierarchy::Hierarchy) for the eager-completion
+//! rules); a parked load at the ROB head forces a drain exactly as the
+//! seed loop did, so the backend observes the identical window
+//! composition.
 
 use crate::bpred::{BimodalPredictor, BranchPredictor};
 use crate::hierarchy::{Access, AccessToken, Hierarchy, MemoryBackend};
 use crate::op::{OpClass, Workload};
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// Pipeline widths and structure sizes.
 ///
@@ -67,6 +108,13 @@ pub struct RunStats {
     pub branches: u64,
     /// Mispredicted branches.
     pub mispredicts: u64,
+    /// Times the clock was forced forward by one cycle because the
+    /// event calendar held no future event while nothing could run.
+    ///
+    /// This is the release-mode escape hatch for what `debug_assert`s
+    /// flag in debug builds; a correct model keeps it at 0, and the
+    /// test suite asserts so.
+    pub forced_steps: u64,
 }
 
 impl RunStats {
@@ -104,15 +152,69 @@ enum SlotKind {
     BranchRedirect,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 struct Slot {
     kind: SlotKind,
-    /// Absolute sequence numbers of producers (NO_DEP when independent or
-    /// already retired at dispatch).
-    dep1: u64,
-    dep2: u64,
     issued: bool,
     complete_at: u64,
+    /// Earliest cycle this slot's known producers allow it to issue
+    /// (running max over producer completion cycles).
+    ready_at: u64,
+    /// Producers whose completion cycle is still unknown (un-issued, or
+    /// parked on an in-flight miss).
+    unresolved: u8,
+    /// Memory op (load/store): subject to the memory-port cap.
+    is_mem: bool,
+    /// Absolute sequence numbers of in-ROB consumers to notify when
+    /// this slot's completion cycle becomes known.
+    consumers: Vec<u64>,
+}
+
+/// Notifies `rob[p_idx]`'s registered consumers that its completion
+/// cycle is `done`: decrements their outstanding-dependence counts and
+/// files newly unblocked slots into the ready sets (ready now) or the
+/// ready calendar (ready at a future cycle).
+#[allow(clippy::too_many_arguments)]
+fn complete_producer(
+    rob: &mut VecDeque<Slot>,
+    base: u64,
+    now: u64,
+    p_idx: usize,
+    done: u64,
+    ready_mem: &mut BTreeSet<u64>,
+    ready_alu: &mut BTreeSet<u64>,
+    ready_cal: &mut BTreeMap<u64, Vec<u64>>,
+    pool: &mut Vec<Vec<u64>>,
+) {
+    if rob[p_idx].consumers.is_empty() {
+        return;
+    }
+    let mut consumers = std::mem::take(&mut rob[p_idx].consumers);
+    for &c in &consumers {
+        // Consumers are strictly younger than their producer and cannot
+        // commit before it, so they are still in the ROB.
+        let idx = (c - base) as usize;
+        let s = &mut rob[idx];
+        s.ready_at = s.ready_at.max(done);
+        s.unresolved -= 1;
+        if s.unresolved == 0 {
+            let (ready_at, is_mem) = (s.ready_at, s.is_mem);
+            if ready_at <= now {
+                if is_mem {
+                    ready_mem.insert(c);
+                } else {
+                    ready_alu.insert(c);
+                }
+            } else {
+                ready_cal
+                    .entry(ready_at)
+                    .or_insert_with(|| pool.pop().unwrap_or_default())
+                    .push(c);
+            }
+        }
+    }
+    consumers.clear();
+    pool.push(consumers);
 }
 
 /// The out-of-order core: a [`Hierarchy`] plus the execution engine.
@@ -199,6 +301,20 @@ impl<B: MemoryBackend> Core<B> {
         let mut pending_loads: BTreeMap<AccessToken, u64> = BTreeMap::new();
         let mut resolved_buf: Vec<(AccessToken, u64)> = Vec::new();
 
+        // Event calendar: future completion cycles of issued ops (and
+        // resolved misses). The min drives the no-progress time jump.
+        let mut completions: BinaryHeap<Reverse<u64>> = BinaryHeap::with_capacity(rob_size * 2);
+        // Ready tracking: slots whose producers are all known-complete,
+        // split by port class, in program order (BTreeSet: padlock-lint
+        // D1, and the merge walk needs ordered iteration anyway).
+        let mut ready_mem: BTreeSet<u64> = BTreeSet::new();
+        let mut ready_alu: BTreeSet<u64> = BTreeSet::new();
+        // Slots unblocked but not ready until a future cycle.
+        let mut ready_cal: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        // Recycled consumer/calendar vectors (keeps the hot loop off the
+        // allocator).
+        let mut vec_pool: Vec<Vec<u64>> = Vec::new();
+
         // Front-end state.
         let mut fetch_ready_at: u64 = 0; // I-miss stall
         let mut redirect_pending = false; // mispredict: blocked until resolve
@@ -213,8 +329,9 @@ impl<B: MemoryBackend> Core<B> {
 
             // ---- Collect resolved fills ----
             // A hierarchy drain (MSHR-file exhaustion inside an access,
-            // or the forced stall-on-use drain below) resolves pending
-            // loads to their real completion cycles.
+            // the forced stall-on-use drain below, or an eagerly
+            // scheduled completion) resolves pending loads to their real
+            // completion cycles.
             self.hierarchy.take_resolutions(&mut resolved_buf);
             for (token, done) in resolved_buf.drain(..) {
                 let Some(seq) = pending_loads.remove(&token) else {
@@ -223,6 +340,20 @@ impl<B: MemoryBackend> Core<B> {
                 if seq >= base {
                     let idx = (seq - base) as usize;
                     rob[idx].complete_at = done;
+                    if done > now {
+                        completions.push(Reverse(done));
+                    }
+                    complete_producer(
+                        &mut rob,
+                        base,
+                        now,
+                        idx,
+                        done,
+                        &mut ready_mem,
+                        &mut ready_alu,
+                        &mut ready_cal,
+                        &mut vec_pool,
+                    );
                 }
             }
 
@@ -246,7 +377,14 @@ impl<B: MemoryBackend> Core<B> {
             while commits < self.config.commit_width {
                 match rob.front() {
                     Some(slot) if slot.issued && slot.complete_at <= now => {
-                        rob.pop_front();
+                        debug_assert!(
+                            slot.consumers.is_empty(),
+                            "committed slot with unnotified consumers"
+                        );
+                        if let Some(mut slot) = rob.pop_front() {
+                            slot.consumers.clear();
+                            vec_pool.push(slot.consumers);
+                        }
                         base += 1;
                         committed += 1;
                         commits += 1;
@@ -262,41 +400,60 @@ impl<B: MemoryBackend> Core<B> {
                 break;
             }
 
-            // ---- Issue (oldest first) ----
+            // ---- Issue (oldest first, from the ready sets) ----
+            // Promote slots whose readiness cycle has arrived.
+            while ready_cal.first_key_value().is_some_and(|(&t, _)| t <= now) {
+                let Some((_, seqs)) = ready_cal.pop_first() else {
+                    break;
+                };
+                for &s in &seqs {
+                    let idx = (s - base) as usize;
+                    if rob[idx].is_mem {
+                        ready_mem.insert(s);
+                    } else {
+                        ready_alu.insert(s);
+                    }
+                }
+                let mut seqs = seqs;
+                seqs.clear();
+                vec_pool.push(seqs);
+            }
+            // Merge-walk the two ready sets in program order: the
+            // issue-width cap ends the walk, the memory-port cap skips
+            // memory ops while younger non-memory ops still issue —
+            // exactly the seed scan's behaviour.
             let mut issues = 0;
             let mut mem_issues = 0;
-            for i in 0..rob.len() {
-                if issues >= self.config.issue_width {
-                    break;
-                }
-                let slot = rob[i];
-                if slot.issued {
-                    continue;
-                }
-                // Dependences resolved?
-                let dep_done = |dep: u64, rob: &VecDeque<Slot>| -> bool {
-                    if dep == NO_DEP || dep < base {
-                        return true;
-                    }
-                    let idx = (dep - base) as usize;
-                    let d = &rob[idx];
-                    d.issued && d.complete_at <= now
+            while issues < self.config.issue_width {
+                let mem_head = if mem_issues < self.config.mem_ports {
+                    ready_mem.first().copied()
+                } else {
+                    None
                 };
-                if !dep_done(slot.dep1, &rob) || !dep_done(slot.dep2, &rob) {
-                    continue;
+                let alu_head = ready_alu.first().copied();
+                let seq = match (mem_head, alu_head) {
+                    (Some(m), Some(a)) => m.min(a),
+                    (Some(m), None) => m,
+                    (None, Some(a)) => a,
+                    (None, None) => break,
+                };
+                let idx = (seq - base) as usize;
+                let kind = rob[idx].kind;
+                let is_mem = rob[idx].is_mem;
+                if is_mem {
+                    ready_mem.remove(&seq);
+                } else {
+                    ready_alu.remove(&seq);
                 }
-                let is_mem = matches!(slot.kind, SlotKind::Load(_) | SlotKind::Store(_));
-                if is_mem && mem_issues >= self.config.mem_ports {
-                    continue;
-                }
-                let complete_at = match slot.kind {
+                let complete_at = match kind {
                     SlotKind::Fixed(lat) => now + lat,
                     SlotKind::Load(addr) => match self.hierarchy.data_access_nb(now, addr, false) {
                         Access::Ready(done) => done,
                         Access::Pending(token) => {
                             // The miss sits in the MSHR file; the slot
-                            // completes when a drain resolves it.
-                            pending_loads.insert(token, base + i as u64);
+                            // completes when a drain or a scheduled
+                            // completion resolves it.
+                            pending_loads.insert(token, seq);
                             PENDING
                         }
                     },
@@ -314,12 +471,30 @@ impl<B: MemoryBackend> Core<B> {
                         done
                     }
                 };
-                let s = &mut rob[i];
-                s.issued = true;
-                s.complete_at = complete_at;
+                {
+                    let s = &mut rob[idx];
+                    s.issued = true;
+                    s.complete_at = complete_at;
+                }
                 issues += 1;
                 if is_mem {
                     mem_issues += 1;
+                }
+                if complete_at != PENDING {
+                    if complete_at > now {
+                        completions.push(Reverse(complete_at));
+                    }
+                    complete_producer(
+                        &mut rob,
+                        base,
+                        now,
+                        idx,
+                        complete_at,
+                        &mut ready_mem,
+                        &mut ready_alu,
+                        &mut ready_cal,
+                        &mut vec_pool,
+                    );
                 }
                 progress = true;
             }
@@ -358,7 +533,7 @@ impl<B: MemoryBackend> Core<B> {
                         seq - u64::from(dist)
                     }
                 };
-                let mut kind = match op.class {
+                let kind = match op.class {
                     OpClass::Load(a) => SlotKind::Load(a),
                     OpClass::Store(a) => SlotKind::Store(a),
                     OpClass::Branch { taken } => {
@@ -383,16 +558,48 @@ impl<B: MemoryBackend> Core<B> {
                 if is_redirect {
                     redirect_pending = true;
                     // Fetch stops after this branch until it resolves.
-                } else if let SlotKind::BranchRedirect = kind {
-                    kind = SlotKind::Fixed(1);
+                }
+                // Dependence registration: known-complete producers fold
+                // into ready_at; unknown ones get this slot as a
+                // consumer to notify later.
+                let is_mem = matches!(kind, SlotKind::Load(_) | SlotKind::Store(_));
+                let mut unresolved = 0u8;
+                let mut ready_at = 0u64;
+                for dep in [to_abs(op.dep1), to_abs(op.dep2)] {
+                    if dep == NO_DEP || dep < base {
+                        continue;
+                    }
+                    let p = &mut rob[(dep - base) as usize];
+                    if p.issued && p.complete_at != PENDING {
+                        ready_at = ready_at.max(p.complete_at);
+                    } else {
+                        p.consumers.push(seq);
+                        unresolved += 1;
+                    }
                 }
                 rob.push_back(Slot {
                     kind,
-                    dep1: to_abs(op.dep1),
-                    dep2: to_abs(op.dep2),
                     issued: false,
                     complete_at: NOT_ISSUED,
+                    ready_at,
+                    unresolved,
+                    is_mem,
+                    consumers: vec_pool.pop().unwrap_or_default(),
                 });
+                if unresolved == 0 {
+                    if ready_at <= now {
+                        if is_mem {
+                            ready_mem.insert(seq);
+                        } else {
+                            ready_alu.insert(seq);
+                        }
+                    } else {
+                        ready_cal
+                            .entry(ready_at)
+                            .or_insert_with(|| vec_pool.pop().unwrap_or_default())
+                            .push(seq);
+                    }
+                }
                 dispatched += 1;
                 fetched += 1;
                 progress = true;
@@ -405,20 +612,26 @@ impl<B: MemoryBackend> Core<B> {
             if progress {
                 self.now += 1;
             } else {
-                // Nothing happened: skip to the next event. Pending
-                // loads have no completion cycle yet; they are excluded
-                // here and force a drain when nothing else can run.
-                let mut next = u64::MAX;
-                for s in &rob {
-                    if s.issued && s.complete_at != PENDING && s.complete_at > now {
-                        next = next.min(s.complete_at);
-                    }
+                // Nothing happened: jump to the earliest future event.
+                // Parked loads have no completion cycle yet; they are
+                // excluded here and force a drain when nothing else can
+                // run.
+                while completions.peek().is_some_and(|&Reverse(t)| t <= now) {
+                    completions.pop();
                 }
+                let mut next = completions.peek().map_or(u64::MAX, |&Reverse(t)| t);
                 if fetch_ready_at > now {
                     next = next.min(fetch_ready_at);
                 }
                 if fetch_resume_at > now && !redirect_pending {
                     next = next.min(fetch_resume_at);
+                }
+                if let Some(c) = self.hierarchy.next_completion() {
+                    // Scheduled-but-uncollected miss completions (eager
+                    // issue) are events too.
+                    if c > now {
+                        next = next.min(c);
+                    }
                 }
                 if next == u64::MAX && self.hierarchy.pending_misses() > 0 {
                     // Stall on use: every runnable op waits on an
@@ -432,7 +645,12 @@ impl<B: MemoryBackend> Core<B> {
                     next != u64::MAX,
                     "stalled with no future event: rob={rob:?}"
                 );
-                self.now = if next == u64::MAX { now + 1 } else { next };
+                if next == u64::MAX {
+                    stats.forced_steps += 1;
+                    self.now = now + 1;
+                } else {
+                    self.now = next;
+                }
             }
         }
 
@@ -498,6 +716,7 @@ mod tests {
         );
         // 4-wide with 16-entry ROB: IPC close to 4.
         assert!(stats.ipc() > 3.0, "ipc {}", stats.ipc());
+        assert_eq!(stats.forced_steps, 0);
     }
 
     #[test]
@@ -507,6 +726,7 @@ mod tests {
         let stats = c.run(&mut Script::repeat(op), 20_000);
         assert!(stats.ipc() <= 1.05, "ipc {}", stats.ipc());
         assert!(stats.ipc() > 0.9, "ipc {}", stats.ipc());
+        assert_eq!(stats.forced_steps, 0);
     }
 
     #[test]
@@ -516,6 +736,7 @@ mod tests {
         let stats = c.run(&mut Script::repeat(op), 9_000);
         let cpi = stats.cpi();
         assert!((2.8..3.3).contains(&cpi), "cpi {cpi}");
+        assert_eq!(stats.forced_steps, 0);
     }
 
     #[test]
@@ -543,6 +764,7 @@ mod tests {
         let stats = c.run(&mut w, 4_000);
         let cpi = stats.cpi();
         assert!(cpi > 80.0, "cpi {cpi} should be memory dominated");
+        assert_eq!(stats.forced_steps, 0);
     }
 
     #[test]
@@ -567,6 +789,7 @@ mod tests {
         // Theoretical MLP limit: ~107-cycle misses / 16-entry ROB ≈ 6.7.
         assert!(cpi < 20.0, "cpi {cpi}: ROB-wide MLP expected");
         assert!(cpi > 4.0, "cpi {cpi}: misses must still dominate");
+        assert_eq!(stats.forced_steps, 0);
     }
 
     #[test]
@@ -597,6 +820,7 @@ mod tests {
         let bad = poorly_predicted.run(&mut Alt { i: 0, every: 2 }, 20_000);
         assert!(bad.mispredicts > good.mispredicts + 1000);
         assert!(bad.cycles > good.cycles, "mispredicts must cost cycles");
+        assert_eq!(bad.forced_steps, 0);
     }
 
     #[test]
@@ -607,6 +831,7 @@ mod tests {
         assert!(stats.loads > 0);
         assert!(stats.stores > 0);
         assert!(stats.branches > 0);
+        assert_eq!(stats.forced_steps, 0);
     }
 
     #[test]
@@ -617,6 +842,25 @@ mod tests {
         let t0 = c.now();
         c.run(&mut w, 1_000);
         assert!(c.now() > t0);
+    }
+
+    #[test]
+    fn mixed_latency_producers_file_consumers_through_ready_calendar() {
+        // A multiply (latency 3) feeding an ALU op (latency 1) exercises
+        // the future-readiness path: the consumer's ready cycle is known
+        // at the producer's issue but lies ahead of `now`, so it must
+        // wait in the ready calendar without being lost or issued early.
+        let mut c = core();
+        let ops = vec![
+            MicroOp::new(0x1000, OpClass::IntMul).with_deps(3, 0),
+            MicroOp::new(0x1004, OpClass::IntAlu).with_deps(1, 0),
+            MicroOp::new(0x1008, OpClass::IntAlu).with_deps(1, 0),
+        ];
+        let stats = c.run(&mut Script::cycle(ops), 9_000);
+        // The serial multiply chain gates each 3-op group at 3 cycles.
+        let cpi = stats.cpi();
+        assert!((0.95..1.15).contains(&cpi), "cpi {cpi}");
+        assert_eq!(stats.forced_steps, 0);
     }
 
     #[test]

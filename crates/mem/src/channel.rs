@@ -368,7 +368,7 @@ impl ChannelSet {
     pub fn stats(&self) -> CounterSet {
         let mut all = CounterSet::new("mem");
         for ch in &self.channels {
-            all.merge(ch.mem().stats());
+            all.merge(&ch.mem().stats());
         }
         all
     }

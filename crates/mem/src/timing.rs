@@ -56,6 +56,61 @@ impl fmt::Display for TrafficClass {
     }
 }
 
+/// Fixed-slot traffic accounting: one count/byte pair per
+/// [`TrafficClass`] plus the row-buffer outcomes, bumped as plain
+/// integer fields on the hot path and rendered as a [`CounterSet`]
+/// only when a caller asks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TrafficStats {
+    counts: [u64; 5],
+    bytes: [u64; 5],
+    row_hits: u64,
+    row_conflicts: u64,
+}
+
+impl TrafficStats {
+    fn record(&mut self, class: TrafficClass, bytes: u32) {
+        self.counts[class as usize] += 1;
+        self.bytes[class as usize] += u64::from(bytes);
+    }
+
+    fn to_counters(self, prefix: &str) -> CounterSet {
+        // Only touched counters appear, matching the shape the
+        // incrementally-built `CounterSet` had before the fixed-slot
+        // rewrite (readers use `get`, which defaults absent names to 0).
+        let mut set = CounterSet::new(prefix);
+        let classes = [
+            TrafficClass::LineRead,
+            TrafficClass::LineWrite,
+            TrafficClass::SeqRead,
+            TrafficClass::SeqWrite,
+            TrafficClass::Mac,
+        ];
+        let mut txns = 0;
+        let mut total = 0;
+        for class in classes {
+            let (n, b) = (self.counts[class as usize], self.bytes[class as usize]);
+            if n > 0 {
+                set.add(class.counter(), n);
+                set.add(class.bytes_counter(), b);
+            }
+            txns += n;
+            total += b;
+        }
+        if txns > 0 {
+            set.add("transactions", txns);
+            set.add("total_bytes", total);
+        }
+        if self.row_hits > 0 {
+            set.add("row_hits", self.row_hits);
+        }
+        if self.row_conflicts > 0 {
+            set.add("row_conflicts", self.row_conflicts);
+        }
+        set
+    }
+}
+
 /// The DRAM + channel timing model.
 ///
 /// Reads complete `access_latency` cycles after they start; every
@@ -82,7 +137,7 @@ pub struct MemTimingModel {
     access_latency: u64,
     occupancy: u64,
     busy_until: u64,
-    stats: CounterSet,
+    stats: TrafficStats,
 }
 
 impl MemTimingModel {
@@ -105,7 +160,7 @@ impl MemTimingModel {
             access_latency,
             occupancy,
             busy_until: 0,
-            stats: CounterSet::new("mem"),
+            stats: TrafficStats::default(),
         }
     }
 
@@ -130,14 +185,15 @@ impl MemTimingModel {
         self.busy_until <= now
     }
 
-    /// Traffic statistics (`line_reads`, `seq_writes`, `*_bytes`, ...).
-    pub fn stats(&self) -> &CounterSet {
-        &self.stats
+    /// Traffic statistics (`line_reads`, `seq_writes`, `*_bytes`, ...),
+    /// rendered on demand from the fixed-slot fields.
+    pub fn stats(&self) -> CounterSet {
+        self.stats.to_counters("mem")
     }
 
     /// Resets statistics (not channel state).
     pub fn reset_stats(&mut self) {
-        self.stats.reset();
+        self.stats = TrafficStats::default();
     }
 
     /// Issues a read at `now`; returns its completion cycle.
@@ -168,8 +224,11 @@ impl MemTimingModel {
     /// Records a row-buffer outcome (`row_hits` / `row_conflicts`) in
     /// this channel's statistics; only banked channels call this.
     pub fn record_row(&mut self, hit: bool) {
-        self.stats
-            .incr(if hit { "row_hits" } else { "row_conflicts" });
+        if hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_conflicts += 1;
+        }
     }
 
     /// Issues `count` back-to-back reads wanted at `now`; returns each
@@ -200,22 +259,21 @@ impl MemTimingModel {
     }
 
     fn record(&mut self, class: TrafficClass, bytes: u32) {
-        self.stats.incr(class.counter());
-        self.stats.add(class.bytes_counter(), u64::from(bytes));
-        self.stats.incr("transactions");
-        self.stats.add("total_bytes", u64::from(bytes));
+        self.stats.record(class, bytes);
     }
 
     /// Total demand transactions (line reads + writes), the denominator of
     /// the paper's Fig. 9.
     pub fn line_transactions(&self) -> u64 {
-        self.stats.get("line_reads") + self.stats.get("line_writes")
+        self.stats.counts[TrafficClass::LineRead as usize]
+            + self.stats.counts[TrafficClass::LineWrite as usize]
     }
 
     /// Total SNC-induced transactions (sequence-number reads + spills),
     /// the numerator of the paper's Fig. 9.
     pub fn seq_transactions(&self) -> u64 {
-        self.stats.get("seq_reads") + self.stats.get("seq_writes")
+        self.stats.counts[TrafficClass::SeqRead as usize]
+            + self.stats.counts[TrafficClass::SeqWrite as usize]
     }
 }
 

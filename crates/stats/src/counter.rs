@@ -112,7 +112,14 @@ impl CounterSet {
 
     /// Adds `n` to the named counter, creating it at zero first if absent.
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
+        // Hot path: the counter almost always exists after its first
+        // event, and `get_mut` borrows the `&str` key directly —
+        // allocating the owned `String` only on first touch.
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
     }
 
     /// Reads the named counter; absent counters read as zero.

@@ -126,6 +126,51 @@ impl Bencher {
             }
         }
     }
+
+    /// Times `routine` over inputs built by `setup`, excluding the
+    /// setup from the measurement — the `criterion` 0.5 `iter_batched`
+    /// shape. The shim runs one setup + routine pair per sample (the
+    /// `BatchSize` hint is accepted for API compatibility and ignored),
+    /// so use it when each iteration is far longer than the timer
+    /// granularity — e.g. whole-machine simulation points with
+    /// expensive construction/pre-aging.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+                self.measured_ns = 0.0;
+            }
+            Mode::Measure { sample_size } => {
+                let mut samples: Vec<f64> = (0..sample_size.max(1))
+                    .map(|_| {
+                        let input = setup();
+                        let start = Instant::now();
+                        black_box(routine(input));
+                        start.elapsed().as_nanos() as f64
+                    })
+                    .collect();
+                samples.sort_by(|a, b| a.total_cmp(b));
+                self.measured_ns = samples[samples.len() / 2];
+            }
+        }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; accepted for
+/// `criterion` 0.5 API compatibility, ignored by the shim's
+/// one-batch-per-sample measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Few iterations per batch (large per-iteration state).
+    SmallInput,
+    /// Many iterations per batch.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
 }
 
 /// Top-level benchmark driver; one per `criterion_group!` function.
