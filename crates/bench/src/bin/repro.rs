@@ -67,6 +67,7 @@ struct Args {
     trace: String,
     jobs: Option<usize>,
     idle_drain: bool,
+    speculative: bool,
     jsonl: Option<PathBuf>,
     seed_core: bool,
 }
@@ -133,6 +134,7 @@ fn parse_args() -> Args {
         trace: "bfs".to_string(),
         jobs: None,
         idle_drain: false,
+        speculative: false,
         jsonl: None,
         seed_core: false,
     };
@@ -158,7 +160,7 @@ fn parse_args() -> Args {
                      \x20      [--calibrate [--snc]]\n\
                      \x20      [--mlp [--channels A,B,..] [--mshrs A,B,..] [--banks A,B,..]\n\
                      \x20       [--order fifo|row-first] [--page open|closed] [--idle-drain]\n\
-                     \x20       [--trace BENCH] [--jsonl FILE] [--seed-core]]\n\
+                     \x20       [--speculative] [--trace BENCH] [--jsonl FILE] [--seed-core]]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
                      Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
                      --jobs fans every sweep across N worker threads (default:\n\
@@ -183,6 +185,10 @@ fn parse_args() -> Args {
                      misses); --page picks the bank page policy (open rows vs\n\
                      closed-page auto-precharge); --idle-drain enables the\n\
                      idle-keyed MSHR drain trigger on every sweep cell;\n\
+                     --speculative issues each parked miss speculatively as a\n\
+                     rollback-able singleton window, replaying coupled windows\n\
+                     — bit-exact in cycles and counters with parked drains, so\n\
+                     every table is byte-identical with or without the flag;\n\
                      --trace picks the recorded benchmark (default bfs, the\n\
                      miss-heavy graph-traversal workload); --jsonl streams the\n\
                      bank-sweep grid points as JSON lines to FILE (requires\n\
@@ -218,6 +224,7 @@ fn parse_args() -> Args {
                 args.jobs = Some(jobs);
             }
             "--idle-drain" => args.idle_drain = true,
+            "--speculative" => args.speculative = true,
             "--seed-core" => args.seed_core = true,
             "--jsonl" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--jsonl needs a file path"));
@@ -270,6 +277,9 @@ fn parse_args() -> Args {
     }
     if args.seed_core && (!args.mlp || args.banks.is_some()) {
         usage_error("--seed-core applies to the --mlp end-to-end sweep (without --banks)");
+    }
+    if args.speculative && !args.mlp {
+        usage_error("--speculative applies to the --mlp sweeps");
     }
     args
 }
@@ -358,6 +368,7 @@ fn mlp(args: &Args, pool: &SweepPool) {
         args.order,
         args.page,
         args.idle_drain,
+        args.speculative,
         args.seed_core,
     );
     println!("{}", table.render_text());
@@ -402,6 +413,7 @@ fn mlp(args: &Args, pool: &SweepPool) {
             args.order,
             args.page,
             args.idle_drain,
+            args.speculative,
         );
         let table = padlock_bench::bank_table_from(&traces, bank_axis, &selected);
         println!("{}", table.render_text());
@@ -433,6 +445,7 @@ fn mlp(args: &Args, pool: &SweepPool) {
             other_order,
             args.page,
             args.idle_drain,
+            args.speculative,
         );
         let (fifo, rowf) = match args.order {
             DrainOrder::Fifo => (&selected, &other),
@@ -458,6 +471,7 @@ fn mlp(args: &Args, pool: &SweepPool) {
             args.order,
             args.page,
             !args.idle_drain,
+            args.speculative,
         );
         let (off_grid, on_grid) = if args.idle_drain {
             (&flipped, &selected)

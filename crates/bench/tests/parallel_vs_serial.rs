@@ -30,7 +30,7 @@ fn mlp_table_is_byte_identical_across_jobs() {
 #[test]
 fn e2e_table_is_byte_identical_across_jobs() {
     let trace = E2eTrace::record("bfs", WARMUP, MEASURE);
-    for idle in [false, true] {
+    for (idle, speculative) in [(false, false), (true, false), (false, true)] {
         let serial = e2e_table(
             &SweepPool::serial(),
             &trace,
@@ -39,6 +39,7 @@ fn e2e_table_is_byte_identical_across_jobs() {
             DrainOrder::Fifo,
             PagePolicy::Open,
             idle,
+            speculative,
             false,
         )
         .render_text();
@@ -50,10 +51,14 @@ fn e2e_table_is_byte_identical_across_jobs() {
             DrainOrder::Fifo,
             PagePolicy::Open,
             idle,
+            speculative,
             false,
         )
         .render_text();
-        assert_eq!(serial, pooled, "e2e table diverged (idle drain {idle})");
+        assert_eq!(
+            serial, pooled,
+            "e2e table diverged (idle drain {idle}, speculative {speculative})"
+        );
     }
 }
 
@@ -81,10 +86,28 @@ fn bank_and_delta_tables_and_jsonl_are_byte_identical_across_jobs() {
             .render_text(),
     );
 
-    let grid_serial =
-        banked_grid(&serial, &traces, &banks, 2, DrainOrder::Fifo, PagePolicy::Open, true);
-    let grid_pooled =
-        banked_grid(&pooled, &traces, &banks, 2, DrainOrder::Fifo, PagePolicy::Open, true);
+    // Speculative on: the spec counters in the JSON lines must be as
+    // deterministic across jobs as the cycles.
+    let grid_serial = banked_grid(
+        &serial,
+        &traces,
+        &banks,
+        2,
+        DrainOrder::Fifo,
+        PagePolicy::Open,
+        true,
+        true,
+    );
+    let grid_pooled = banked_grid(
+        &pooled,
+        &traces,
+        &banks,
+        2,
+        DrainOrder::Fifo,
+        PagePolicy::Open,
+        true,
+        true,
+    );
     assert_eq!(
         grid_jsonl(&traces, &grid_serial),
         grid_jsonl(&traces, &grid_pooled),

@@ -69,6 +69,15 @@ fn jobs_must_be_a_positive_worker_count() {
 }
 
 #[test]
+fn speculative_requires_the_mlp_sweeps() {
+    let out = repro(&["--speculative"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--mlp"), "unexpected message {stderr:?}");
+    assert!(out.stdout.is_empty(), "--speculative alone printed output");
+}
+
+#[test]
 fn jsonl_requires_the_bank_sweep() {
     let out = repro(&["--mlp", "--smoke", "--jsonl", "/tmp/never-written.jsonl"]);
     assert_eq!(out.status.code(), Some(2));
@@ -91,6 +100,7 @@ fn help_documents_the_scheduling_flags() {
         "byte-identical",
         "--idle-drain",
         "--jsonl",
+        "--speculative",
     ] {
         assert!(stdout.contains(needle), "help lacks {needle}: {stdout}");
     }

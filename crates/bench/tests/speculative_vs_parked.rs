@@ -1,0 +1,168 @@
+//! The speculative-issue differential: with
+//! `HierarchyConfig::speculative_completions` on, the machine must be
+//! **bit-exact** against the parked-drain machine — same cycles, same
+//! instructions, and the same value for every cache, traffic,
+//! controller, and SNC counter — over the structural grid (channels ×
+//! banks × MSHRs × in-flight bound) and the scheduler variants
+//! (FR-FCFS, closed page, idle-keyed drains) on recorded bfs/rstride
+//! traces. Speculation may only add its own three MSHR counters
+//! (`speculative_issues`, `window_replays`,
+//! `replay_patched_completions`); every shared counter must match.
+//! The grid must also prove speculation *engages*: singleton windows
+//! confirm on the pointer-chase rstride trace, and coupled windows
+//! replay (`window_replays > 0`) on the deep FR-FCFS banked bfs
+//! points. CI runs this on every push.
+
+use padlock_bench::mlp::{e2e_machine_config, inflight_for, E2eParams, E2eTrace};
+use padlock_core::{Machine, MachineConfig, Measurement};
+use padlock_mem::{DrainOrder, PagePolicy};
+
+/// Tiny end-to-end windows: bit-exactness does not need a
+/// representative measurement, just real simulations on both sides.
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 6_000;
+
+/// The MSHR counters only the speculative run is allowed to touch.
+const SPEC_COUNTERS: [&str; 3] = [
+    "speculative_issues",
+    "window_replays",
+    "replay_patched_completions",
+];
+
+fn assert_spec_exact(ctx: &str, parked: &Measurement, spec: &Measurement) {
+    assert_eq!(parked.stats, spec.stats, "{ctx}: core stats diverged");
+    assert_eq!(
+        parked.stats.forced_steps, 0,
+        "{ctx}: parked run forced a time step"
+    );
+    assert_eq!(
+        spec.stats.forced_steps, 0,
+        "{ctx}: speculative run forced a time step"
+    );
+    assert_eq!(parked.l2, spec.l2, "{ctx}: L2 counters diverged");
+    assert_eq!(
+        parked.traffic, spec.traffic,
+        "{ctx}: traffic counters diverged"
+    );
+    assert_eq!(
+        parked.controller, spec.controller,
+        "{ctx}: controller counters diverged"
+    );
+    assert_eq!(parked.snc, spec.snc, "{ctx}: SNC counters diverged");
+    assert_eq!(parked.label, spec.label, "{ctx}: backend label diverged");
+    // MSHR counters: identical except the speculation-only three, which
+    // the parked run must never touch. Walk both directions so a
+    // counter nonzero on only one side cannot hide.
+    for (name, v) in parked.mshr.iter() {
+        assert!(
+            !SPEC_COUNTERS.contains(&name),
+            "{ctx}: parked run counted {name}"
+        );
+        assert_eq!(spec.mshr.get(name), v, "{ctx}: MSHR counter {name}");
+    }
+    for (name, v) in spec.mshr.iter() {
+        if SPEC_COUNTERS.contains(&name) {
+            continue;
+        }
+        assert_eq!(parked.mshr.get(name), v, "{ctx}: MSHR counter {name}");
+    }
+}
+
+/// Runs one recorded-trace cell and returns its measurement.
+fn run_one(trace: &E2eTrace, config: MachineConfig) -> Measurement {
+    let mut machine = Machine::new(config);
+    machine.core_mut().hierarchy_mut().backend_mut().pre_age(
+        trace.ancient_lines().iter().copied(),
+        trace.active_lines().iter().copied(),
+    );
+    let mut player = trace.clone_player();
+    machine.run(&mut player, trace.warmup_ops(), trace.measure_ops())
+}
+
+/// Runs one cell both ways — `params` parked, then with speculation —
+/// asserts bit-exactness, and returns the speculative measurement.
+fn run_cell(trace: &E2eTrace, params: E2eParams, ctx: &str) -> Measurement {
+    let parked = run_one(trace, e2e_machine_config(params));
+    let spec = run_one(trace, e2e_machine_config(params.with_speculative(true)));
+    assert_spec_exact(ctx, &parked, &spec);
+    spec
+}
+
+#[test]
+fn recorded_traces_match_over_the_structural_grid() {
+    let mut speculative_issues = 0u64;
+    for bench in ["bfs", "rstride"] {
+        let trace = E2eTrace::record(bench, WARMUP, MEASURE);
+        for channels in [1usize, 2] {
+            for banks in [1usize, 2] {
+                for mshrs in [1usize, 4] {
+                    for inflight in [1usize, inflight_for(mshrs)] {
+                        let params = E2eParams::new(mshrs, channels, banks, inflight);
+                        let ctx = format!(
+                            "{bench} ch={channels} banks={banks} \
+                             mshrs={mshrs} inflight={inflight}"
+                        );
+                        let spec = run_cell(&trace, params, &ctx);
+                        speculative_issues += spec.mshr.get("speculative_issues");
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        speculative_issues > 0,
+        "speculation never engaged anywhere on the structural grid"
+    );
+}
+
+#[test]
+fn scheduling_knobs_match_at_the_deep_point() {
+    // The deep FR-FCFS banked machine is the window-coupling regime:
+    // crypto-pipeline slots, SNC ports, and bank state all shared
+    // across a multi-miss window, so speculated windows must both
+    // confirm (singletons) and replay (coupled batches) here — and
+    // stay bit-exact through every scheduler variant.
+    let trace = E2eTrace::record("bfs", WARMUP, MEASURE);
+    let deep = E2eParams::new(4, 2, 2, inflight_for(4));
+    let variants: [(&str, E2eParams); 4] = [
+        ("fifo", deep),
+        ("row-first", deep.with_order(DrainOrder::RowFirst)),
+        ("closed-page", deep.with_page(PagePolicy::Closed)),
+        ("idle-drain", deep.with_drain_on_idle(true)),
+    ];
+    for (name, params) in variants {
+        let spec = run_cell(&trace, params, name);
+        assert!(
+            spec.mshr.get("speculative_issues") > 0,
+            "{name}: speculation never engaged on the deep machine"
+        );
+        assert!(
+            spec.mshr.get("window_replays") > 0,
+            "{name}: no window ever coupled on the deep machine"
+        );
+        assert!(
+            spec.mshr.get("replay_patched_completions")
+                >= spec.mshr.get("window_replays"),
+            "{name}: a replay patched no completions"
+        );
+    }
+}
+
+#[test]
+fn the_pointer_chase_confirms_most_of_its_windows() {
+    // rstride is a serial random walk: one miss in flight at a time,
+    // so nearly every drain window is a singleton and the speculated
+    // completion survives to the drain trigger. This is the simrate
+    // fast path — most issues must confirm, not replay.
+    let trace = E2eTrace::record("rstride", WARMUP, MEASURE);
+    let deep = E2eParams::new(8, 4, 2, 32).with_order(DrainOrder::RowFirst);
+    let spec = run_cell(&trace, deep, "rstride deep");
+    let issues = spec.mshr.get("speculative_issues");
+    let replays = spec.mshr.get("window_replays");
+    assert!(issues > 0, "speculation never engaged");
+    assert!(
+        replays * 2 < issues,
+        "a pointer chase should confirm most windows: \
+         {replays} replays of {issues} issues"
+    );
+}

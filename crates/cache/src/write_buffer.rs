@@ -23,6 +23,17 @@ pub struct WriteBufferEntry {
     pub bytes: u32,
 }
 
+/// Fixed-slot buffer event counters, bumped as plain fields on the
+/// push/pop hot paths and rendered as a [`CounterSet`] on demand —
+/// so cloning a buffer (the per-issue channel snapshot under
+/// speculative window issue) never touches the heap for statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WriteBufferStats {
+    pushes: u64,
+    drains: u64,
+    full_stalls: u64,
+}
+
 /// A fixed-capacity FIFO write buffer.
 ///
 /// # Examples
@@ -36,11 +47,30 @@ pub struct WriteBufferEntry {
 /// assert!(wb.pop_ready(100).is_none());
 /// assert_eq!(wb.pop_ready(150).unwrap().addr, 0x1000);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct WriteBuffer {
     capacity: usize,
     entries: VecDeque<WriteBufferEntry>,
-    stats: CounterSet,
+    stats: WriteBufferStats,
+}
+
+impl Clone for WriteBuffer {
+    fn clone(&self) -> Self {
+        Self {
+            capacity: self.capacity,
+            entries: self.entries.clone(),
+            stats: self.stats,
+        }
+    }
+
+    // Hand-written so the per-issue channel snapshot under speculative
+    // window issue reuses the destination's entry deque instead of
+    // reallocating it (`derive` would fall back to clone-and-drop).
+    fn clone_from(&mut self, source: &Self) {
+        self.capacity = source.capacity;
+        self.entries.clone_from(&source.entries);
+        self.stats = source.stats;
+    }
 }
 
 impl WriteBuffer {
@@ -54,7 +84,7 @@ impl WriteBuffer {
         Self {
             capacity,
             entries: VecDeque::with_capacity(capacity),
-            stats: CounterSet::new("write_buffer"),
+            stats: WriteBufferStats::default(),
         }
     }
 
@@ -78,14 +108,25 @@ impl WriteBuffer {
         self.entries.len() == self.capacity
     }
 
-    /// Statistics: `pushes`, `drains`, `full_stalls`.
-    pub fn stats(&self) -> &CounterSet {
-        &self.stats
+    /// Statistics: `pushes`, `drains`, `full_stalls`. Built on demand
+    /// from the fixed slots; only touched counters appear.
+    pub fn stats(&self) -> CounterSet {
+        let mut set = CounterSet::new("write_buffer");
+        for (name, n) in [
+            ("pushes", self.stats.pushes),
+            ("drains", self.stats.drains),
+            ("full_stalls", self.stats.full_stalls),
+        ] {
+            if n > 0 {
+                set.add(name, n);
+            }
+        }
+        set
     }
 
     /// Resets statistics, keeping contents.
     pub fn reset_stats(&mut self) {
-        self.stats.reset();
+        self.stats = WriteBufferStats::default();
     }
 
     /// Enqueues a writeback that becomes drainable at `ready_at`.
@@ -94,10 +135,10 @@ impl WriteBuffer {
     /// full; the caller models the stall and retries.
     pub fn push(&mut self, addr: u64, ready_at: u64, bytes: u32) -> bool {
         if self.is_full() {
-            self.stats.incr("full_stalls");
+            self.stats.full_stalls += 1;
             return false;
         }
-        self.stats.incr("pushes");
+        self.stats.pushes += 1;
         self.entries.push_back(WriteBufferEntry {
             addr,
             ready_at,
@@ -111,7 +152,7 @@ impl WriteBuffer {
     /// younger ready entries, matching a simple hardware FIFO).
     pub fn pop_ready(&mut self, now: u64) -> Option<WriteBufferEntry> {
         if self.entries.front()?.ready_at <= now {
-            self.stats.incr("drains");
+            self.stats.drains += 1;
             self.entries.pop_front()
         } else {
             None
@@ -127,7 +168,7 @@ impl WriteBuffer {
     /// entries in FIFO order.
     pub fn drain_all(&mut self) -> Vec<WriteBufferEntry> {
         let out: Vec<_> = self.entries.drain(..).collect();
-        self.stats.add("drains", out.len() as u64);
+        self.stats.drains += out.len() as u64;
         out
     }
 }

@@ -63,13 +63,13 @@ pub mod vendor;
 
 pub use config::{SecureBackendConfig, SecurityMode, SeedScheme, SncConfig, SncOrganization, SncPolicy};
 pub use controller::SecureBackend;
-pub use engine::{MemTxn, TxnOp};
+pub use engine::{MemTxn, SpecWindow, TxnOp};
 pub use machine::{Machine, MachineConfig, Measurement};
 pub use secure_mem::{
     AttackOutcome, IntegrityMode, LineProtection, LineSnapshot, MapRegionError, SecureMemory,
     SecureMemoryError,
 };
-pub use snc::{EvictedSeq, SequenceNumberCache, SncLookup};
+pub use snc::{EvictedSeq, SequenceNumberCache, SncLookup, SncQueryUndo};
 pub use snc_shards::SncShards;
 
 // The sweep executor moves whole machines and their results across

@@ -3,8 +3,12 @@
 //! [`Hierarchy::next_completion`] must be an exact minimum (advancing
 //! the clock to just below it never drops or reorders anything — the
 //! event-driven core's time jump can never skip over an earlier
-//! completion), and eagerly issued singleton misses must resolve with
-//! the same cycles, in the same order, as one batched drain.
+//! completion), eagerly issued singleton misses must resolve with
+//! the same cycles, in the same order, as one batched drain, and
+//! speculative singleton-window issue over a *non*-eager-safe
+//! (FR-FCFS banked) backend must be indistinguishable from parked
+//! drains except for its own three counters — even on deep windows
+//! where most batches couple and replay.
 
 use padlock_cpu::{
     Access, AccessToken, Core, Hierarchy, HierarchyConfig, InsecureBackend, LineKind,
@@ -206,6 +210,97 @@ proptest! {
             .collect();
         prop_assert_eq!(eager_dones, batched_dones);
     }
+
+    /// Deep-window speculation is invisible: with
+    /// `speculative_completions` on over a backend that is *not*
+    /// `eager_issue_safe` (FR-FCFS over banks, where overlapping
+    /// window members couple), an arbitrary access stream resolves
+    /// with the same hit/miss classification, the same completion
+    /// cycle for every access, and the same resolution order as the
+    /// parked machine. Only the three speculation counters may
+    /// differ — and the parked side must never touch them.
+    #[test]
+    fn speculative_hierarchy_is_indistinguishable_from_the_parked_one(
+        stream in proptest::collection::vec(step_strategy(), 1..120),
+        mshrs in 2usize..9,
+        channels in 1usize..3,
+        banks in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let make = |speculative: bool| {
+            let backend = InsecureBackend::new(100, 8)
+                .with_channels(channels)
+                .with_banks(banks)
+                .with_drain_order(padlock_mem::DrainOrder::RowFirst);
+            assert!(!backend.eager_issue_safe(), "FR-FCFS windows couple");
+            Hierarchy::new(
+                HierarchyConfig::paper_default()
+                    .with_l2_mshrs(mshrs)
+                    .with_speculative_completions(speculative),
+                backend,
+            )
+        };
+        let mut spec = make(true);
+        let mut parked = make(false);
+        let mut spec_waiting: Vec<AccessToken> = Vec::new();
+        let mut parked_waiting: Vec<AccessToken> = Vec::new();
+        let mut now = 0u64;
+        for &(dt, idx, is_store) in &stream {
+            now += dt;
+            let addr = 0x10_0000 + idx * LINE;
+            match (
+                spec.data_access_nb(now, addr, is_store),
+                parked.data_access_nb(now, addr, is_store),
+            ) {
+                (Access::Ready(a), Access::Ready(b)) => {
+                    prop_assert_eq!(a, b, "ready completion cycles diverged");
+                }
+                (Access::Pending(a), Access::Pending(b)) => {
+                    spec_waiting.push(a);
+                    parked_waiting.push(b);
+                }
+                _ => prop_assert!(false, "hit/miss classification diverged"),
+            }
+        }
+        spec.drain_pending();
+        parked.drain_pending();
+        let mut spec_resolved: Vec<(AccessToken, u64)> = Vec::new();
+        let mut parked_resolved: Vec<(AccessToken, u64)> = Vec::new();
+        spec.take_resolutions(&mut spec_resolved);
+        parked.take_resolutions(&mut parked_resolved);
+        prop_assert_eq!(spec_resolved.len(), spec_waiting.len());
+        prop_assert_eq!(parked_resolved.len(), parked_waiting.len());
+        for (i, (&(st, sd), &(pt, pd))) in
+            spec_resolved.iter().zip(&parked_resolved).enumerate()
+        {
+            prop_assert_eq!(st, spec_waiting[i], "speculative side reordered");
+            prop_assert_eq!(pt, parked_waiting[i], "parked side reordered");
+            prop_assert_eq!(sd, pd, "pending completion cycles diverged");
+        }
+        // Counters: identical except the speculation-only three; the
+        // first cold miss always speculates (the backend is idle), so
+        // the mechanism provably engaged.
+        let spec_only = [
+            "speculative_issues",
+            "window_replays",
+            "replay_patched_completions",
+        ];
+        for (name, v) in parked.mshr_stats().iter() {
+            prop_assert!(!spec_only.contains(&name), "parked run counted {}", name);
+            prop_assert_eq!(spec.mshr_stats().get(name), v, "MSHR counter {}", name);
+        }
+        for (name, v) in spec.mshr_stats().iter() {
+            if spec_only.contains(&name) {
+                continue;
+            }
+            prop_assert_eq!(parked.mshr_stats().get(name), v, "MSHR counter {}", name);
+        }
+        prop_assert!(spec.mshr_stats().get("speculative_issues") > 0);
+        prop_assert_eq!(
+            format!("{:?}", spec.backend().traffic()),
+            format!("{:?}", parked.backend().traffic()),
+            "backend traffic diverged"
+        );
+    }
 }
 
 /// A workload replaying an arbitrary generated op vector in a loop.
@@ -244,19 +339,32 @@ proptest! {
 
     /// The pipeline's event calendar is complete for arbitrary op
     /// streams: the run loop never has to fall back to a forced +1
-    /// step, with misses parked for batched drains *or* scheduled
-    /// eagerly at allocation.
+    /// step, with misses parked for batched drains, scheduled eagerly
+    /// at allocation, *or* issued speculatively over a non-eager-safe
+    /// FR-FCFS banked backend (where coupled windows abort and replay
+    /// mid-stream).
     #[test]
     fn run_loop_never_forces_a_step(
         ops in proptest::collection::vec(op_strategy(), 1..64),
         eager in any::<bool>(),
+        speculative in any::<bool>(),
         mshrs in 1usize..9,
     ) {
+        let backend = if speculative {
+            // The regime speculation exists for: windows couple, so
+            // eager issue is unsafe and replays actually happen.
+            InsecureBackend::new(100, 8)
+                .with_banks(4)
+                .with_drain_order(padlock_mem::DrainOrder::RowFirst)
+        } else {
+            InsecureBackend::new(100, 8)
+        };
         let hierarchy = Hierarchy::new(
             HierarchyConfig::paper_default()
                 .with_l2_mshrs(mshrs)
-                .with_eager_completions(eager),
-            InsecureBackend::new(100, 8),
+                .with_eager_completions(eager && !speculative)
+                .with_speculative_completions(speculative),
+            backend,
         );
         let mut core = Core::with_hierarchy(PipelineConfig::paper_default(), hierarchy);
         let stats = core.run(&mut Arbitrary { ops, i: 0 }, 3_000);
