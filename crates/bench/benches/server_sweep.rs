@@ -1,0 +1,48 @@
+//! Criterion bench over the secure-server contention sweep: wall time
+//! of simulating one cores × channels × switch-quantum cell end to end
+//! (server construction, per-compartment pre-aging, warm-up, and the
+//! measured window — everything `run_server_point` pays). The simulated
+//! contention numbers themselves are printed by `repro --server` and
+//! regression-tested in `padlock_bench::server`; these ids track the
+//! scheduler's wall-clock overhead as compartments, channels, and
+//! context-switch flushes are added to one shared fabric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use padlock_bench::run_server_point;
+
+/// Warm-up ops per compartment per simulated point.
+const WARMUP: u64 = 2_000;
+/// Measured ops per compartment per simulated point.
+const MEASURE: u64 = 10_000;
+
+fn server_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_sweep");
+    g.sample_size(10);
+    // The compartment axis: the min-now lockstep and slot moves scale
+    // with core count at a fixed 2-channel fabric.
+    for cores in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("cores", format!("{cores}core")),
+            &cores,
+            |b, &cores| b.iter(|| run_server_point("bfs", cores, 2, 0, WARMUP, MEASURE)),
+        );
+    }
+    // The switch quantum: the same 2-compartment machine with the §4.3
+    // flush firing every 20k cycles.
+    g.bench_with_input(
+        BenchmarkId::new("cores", "2core_q20k"),
+        &2usize,
+        |b, &cores| b.iter(|| run_server_point("bfs", cores, 2, 20_000, WARMUP, MEASURE)),
+    );
+    // The channel axis under contention: 4 compartments over a wider
+    // fabric.
+    g.bench_with_input(
+        BenchmarkId::new("cores", "4core_4ch"),
+        &4usize,
+        |b, &cores| b.iter(|| run_server_point("bfs", cores, 4, 0, WARMUP, MEASURE)),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, server_sweep);
+criterion_main!(benches);

@@ -59,6 +59,9 @@ struct Args {
     calibrate: bool,
     snc: bool,
     mlp: bool,
+    server: bool,
+    cores: Option<Vec<usize>>,
+    switches: Option<Vec<u64>>,
     channels: Vec<usize>,
     mshrs: Vec<usize>,
     banks: Option<Vec<usize>>,
@@ -95,6 +98,24 @@ fn parse_axis(flag: &str, value: &str) -> Vec<usize> {
     axis
 }
 
+/// The context-switch axis admits a value the generic parser rejects:
+/// `0` means "no switching" (the column every quantum is compared
+/// against), so only garbage is an error.
+fn parse_switch_axis(value: &str) -> Vec<u64> {
+    let axis: Vec<u64> = value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("--switch expects cycle counts, got {v:?}")))
+        })
+        .collect();
+    if axis.is_empty() {
+        usage_error("--switch needs at least one quantum (0 = no switching)");
+    }
+    axis
+}
+
 /// The bank axis carries an extra constraint the generic axis parser
 /// cannot see: rows are [`ROW_LINES`] lines and rotate over banks, so a
 /// bank count that does not divide the row would leave the row-hit
@@ -126,6 +147,9 @@ fn parse_args() -> Args {
         calibrate: false,
         snc: false,
         mlp: false,
+        server: false,
+        cores: None,
+        switches: None,
         channels: vec![1, 2, 4],
         mshrs: vec![1, 2, 4, 8],
         banks: None,
@@ -161,6 +185,8 @@ fn parse_args() -> Args {
                      \x20      [--mlp [--channels A,B,..] [--mshrs A,B,..] [--banks A,B,..]\n\
                      \x20       [--order fifo|row-first] [--page open|closed] [--idle-drain]\n\
                      \x20       [--speculative] [--trace BENCH] [--jsonl FILE] [--seed-core]]\n\
+                     \x20      [--server [--cores A,B,..] [--switch A,B,..]\n\
+                     \x20       [--channels A,B,..] [--trace BENCH|mix]]\n\
                      Regenerates the figures of 'Fast Secure Processor for\n\
                      Inhibiting Software Piracy and Tampering' (MICRO-36, 2003).\n\
                      --jobs fans every sweep across N worker threads (default:\n\
@@ -189,6 +215,14 @@ fn parse_args() -> Args {
                      rollback-able singleton window, replaying coupled windows\n\
                      — bit-exact in cycles and counters with parked drains, so\n\
                      every table is byte-identical with or without the flag;\n\
+                     --server sweeps the N-compartment secure server instead:\n\
+                     cores x channels x context-switch quanta over one shared\n\
+                     fabric (small LRU SNC), printing mean CPI, the slowdown vs\n\
+                     the smallest core count, and cross-compartment SNC\n\
+                     evictions per cell; --cores sets the compartment axis,\n\
+                     --switch the context-switch quanta in cycles (0 = never),\n\
+                     and --trace pins every compartment's benchmark (mix =\n\
+                     round-robin suite assignment);\n\
                      --trace picks the recorded benchmark (default bfs, the\n\
                      miss-heavy graph-traversal workload); --jsonl streams the\n\
                      bank-sweep grid points as JSON lines to FILE (requires\n\
@@ -201,6 +235,15 @@ fn parse_args() -> Args {
             "--calibrate" => args.calibrate = true,
             "--snc" => args.snc = true,
             "--mlp" => args.mlp = true,
+            "--server" => args.server = true,
+            "--cores" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--cores needs counts"));
+                args.cores = Some(parse_axis("--cores", &v));
+            }
+            "--switch" => {
+                let v = iter.next().unwrap_or_else(|| usage_error("--switch needs quanta"));
+                args.switches = Some(parse_switch_axis(&v));
+            }
             "--channels" => {
                 let v = iter.next().unwrap_or_else(|| usage_error("--channels needs counts"));
                 args.channels = parse_axis("--channels", &v);
@@ -254,7 +297,8 @@ fn parse_args() -> Args {
                 let v = iter.next().unwrap_or_else(|| usage_error("--trace needs a benchmark"));
                 let known = padlock_workloads::BENCHMARK_NAMES
                     .iter()
-                    .chain(padlock_workloads::STRESS_NAMES.iter());
+                    .chain(padlock_workloads::STRESS_NAMES.iter())
+                    .chain(std::iter::once(&"mix"));
                 if !known.clone().any(|&k| k == v) {
                     usage_error(&format!(
                         "--trace expects one of {:?}, got {v:?}",
@@ -271,6 +315,15 @@ fn parse_args() -> Args {
     }
     if args.snc && !args.calibrate {
         usage_error("--snc requires --calibrate");
+    }
+    if args.server && args.mlp {
+        usage_error("--server and --mlp are separate sweeps; pick one");
+    }
+    if (args.cores.is_some() || args.switches.is_some()) && !args.server {
+        usage_error("--cores / --switch apply to the --server sweep");
+    }
+    if args.trace == "mix" && !args.server {
+        usage_error("--trace mix (round-robin suite assignment) applies to --server");
     }
     if args.jsonl.is_some() && args.banks.is_none() {
         usage_error("--jsonl streams the bank-sweep grid and requires --banks");
@@ -485,10 +538,57 @@ fn mlp(args: &Args, pool: &SweepPool) {
     }
 }
 
+fn server(args: &Args, pool: &SweepPool) {
+    let mut rate = SweepRate::start();
+    let cores = args.cores.clone().unwrap_or_else(|| vec![1, 2, 4]);
+    let switches = args.switches.clone().unwrap_or_else(|| vec![0, 20_000]);
+    let (warmup, measure) = args.scale.window();
+    // Every cell simulates up to max(cores) full windows; the same
+    // fraction the end-to-end MLP sweep uses keeps the grid affordable.
+    let (warmup, measure) = (warmup / 4, measure / 4);
+    println!(
+        "== Secure server — {} compartments time-sharing one fabric ==",
+        args.trace
+    );
+    println!(
+        "(shared OTP backend with a small 64-entry LRU SNC, 8 MSHRs, 32 in-flight,\n\
+         SNC shards paired with channels; each compartment runs {} in its own\n\
+         address stripe over a {measure}-op window; cells are mean CPI, the\n\
+         slowdown vs the {}-core row, and SNC entries evicted by *other*\n\
+         compartments' installs and context-switch flushes)\n",
+        if args.trace == "mix" {
+            "the suite round-robin".to_string()
+        } else {
+            format!("recorded {}", args.trace)
+        },
+        cores[0],
+    );
+    let table = padlock_bench::server_table(
+        pool,
+        &args.trace,
+        &cores,
+        &args.channels,
+        &switches,
+        warmup,
+        measure,
+    );
+    println!("{}", table.render_text());
+    rate.lap("server sweep");
+}
+
 fn main() {
     let args = parse_args();
     let pool = args.pool();
     let started = Instant::now();
+    if args.server {
+        server(&args, &pool);
+        eprintln!(
+            "(server sweep wall-clock: {:.2}s at {} jobs)",
+            started.elapsed().as_secs_f64(),
+            pool.jobs()
+        );
+        return;
+    }
     if args.mlp {
         mlp(&args, &pool);
         eprintln!(

@@ -27,6 +27,7 @@ mod meter;
 pub mod mlp;
 mod paper_data;
 pub mod seed_core;
+pub mod server;
 
 pub use figures::{figure_machines, FigureResult, Series};
 pub use lab::{Lab, MachineKind, RunScale};
@@ -37,3 +38,4 @@ pub use mlp::{
     order_delta_table_from, run_e2e_point, run_e2e_point_seed, run_mlp_point, E2eParams, E2ePoint, E2eTrace, MlpPoint,
 };
 pub use paper_data::{paper_series, ORDER};
+pub use server::{run_server_point, server_machine_config, server_table, ServerPoint};

@@ -538,6 +538,19 @@ pub fn e2e_table(
             }
         }
     }
+    // Label-collision guard: every cell must report under a distinct
+    // machine label, or downstream tables and JSON consumers silently
+    // merge rows. `MachineConfig::label` threads the MSHR depth (and,
+    // one layer up, `ServerConfig::label` threads core count and switch
+    // quantum), so a collision here means a new sweep axis was added
+    // without a label suffix.
+    let labels: std::collections::BTreeSet<String> =
+        cells.iter().map(|p| e2e_machine_config(*p).label()).collect();
+    assert_eq!(
+        labels.len(),
+        cells.len(),
+        "e2e sweep cells collide on report labels: {labels:?}"
+    );
     let run = if seed_core {
         run_e2e_point_seed
     } else {

@@ -356,16 +356,18 @@ impl<B: MemoryBackend> SeedCore<B> {
 #[derive(Debug)]
 pub struct SeedMachine {
     core: SeedCore<SecureBackend>,
+    label: String,
 }
 
 impl SeedMachine {
     /// Builds the seed machine from the same configuration
     /// [`Machine::new`] takes.
     pub fn new(config: MachineConfig) -> Self {
+        let label = config.label();
         let backend = SecureBackend::new(config.security);
         let hierarchy = Hierarchy::new(config.hierarchy, backend);
         let core = SeedCore::with_hierarchy(config.pipeline, hierarchy);
-        Self { core }
+        Self { core, label }
     }
 
     /// Direct access to the seed core.
@@ -400,7 +402,7 @@ impl SeedMachine {
                 .snc()
                 .map(|s| s.stats())
                 .unwrap_or_else(|| CounterSet::new("snc")),
-            label: h.backend().label(),
+            label: self.label.clone(),
         }
     }
 }

@@ -78,6 +78,38 @@ fn speculative_requires_the_mlp_sweeps() {
 }
 
 #[test]
+fn server_axes_require_the_server_sweep() {
+    // --cores / --switch configure the contention grid; outside
+    // --server they would be silently ignored, so the CLI rejects them.
+    for args in [
+        &["--mlp", "--cores", "1,2"][..],
+        &["--mlp", "--switch", "20000"][..],
+        &["--cores", "1,2"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--server"), "{args:?}: {stderr:?}");
+        assert!(out.stdout.is_empty(), "{args:?} printed output");
+    }
+    // The two sweeps are exclusive, and `mix` only means round-robin
+    // compartment assignment on the server.
+    let out = repro(&["--server", "--mlp"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = repro(&["--mlp", "--smoke", "--trace", "mix"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Garbage and empty server axes fail fast.
+    for (flag, bad) in [("--cores", "x"), ("--cores", "0"), ("--switch", "q")] {
+        let out = repro(&["--server", "--smoke", flag, bad]);
+        assert_eq!(out.status.code(), Some(2), "{flag} {bad}");
+    }
+    // Quantum 0 (no switching) is a legal axis value, parsed fine:
+    // validation stops at parse, long before any simulation.
+    let out = repro(&["--server", "--switch", "0", "--cores", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn jsonl_requires_the_bank_sweep() {
     let out = repro(&["--mlp", "--smoke", "--jsonl", "/tmp/never-written.jsonl"]);
     assert_eq!(out.status.code(), Some(2));
@@ -101,6 +133,9 @@ fn help_documents_the_scheduling_flags() {
         "--idle-drain",
         "--jsonl",
         "--speculative",
+        "--server",
+        "--cores",
+        "--switch",
     ] {
         assert!(stdout.contains(needle), "help lacks {needle}: {stdout}");
     }

@@ -1,0 +1,91 @@
+//! Differential test: a [`SecureServer`] with one compartment and no
+//! context switching IS the seed [`Machine`] — same core, same
+//! hierarchy, same backend, with the scheduler reduced to a no-op.
+//! Every measured quantity must match bit for bit over the full
+//! mode × channels × banks × MSHRs grid, and the single compartment's
+//! traffic split must equal the fabric totals exactly.
+//!
+//! This is the lockdown for the multi-compartment refactor: whatever
+//! the scheduler, slot indirection, and per-requestor tagging added,
+//! the degenerate configuration must not move a single counter.
+
+use padlock_bench::inflight_for;
+use padlock_core::{
+    MachineConfig, Machine, SecureServer, SecurityMode, ServerConfig, SncConfig,
+};
+use padlock_cpu::StrideWorkload;
+use padlock_mem::DrainOrder;
+
+/// The measurement windows: long enough that every mode misses, spills,
+/// and drains through the engine.
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 8_000;
+
+fn grid_config(mode: SecurityMode, channels: usize, banks: usize, mshrs: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::paper(mode);
+    cfg.hierarchy.l2_mshrs = mshrs;
+    cfg.security = cfg
+        .security
+        .with_max_inflight(inflight_for(mshrs))
+        .with_snc_shards(channels)
+        .with_mem_channels(channels)
+        .with_mem_banks(banks);
+    if banks > 1 {
+        // Exercise the FR-FCFS arbitration path the server's drain
+        // windows share across compartments.
+        cfg.security = cfg.security.with_drain_order(DrainOrder::RowFirst);
+    }
+    cfg
+}
+
+fn workload() -> StrideWorkload {
+    StrideWorkload::new(8 << 20, 128, 0.4)
+}
+
+#[test]
+fn one_compartment_server_is_bit_exact_to_the_machine() {
+    let modes = [
+        SecurityMode::Insecure,
+        SecurityMode::Xom,
+        SecurityMode::Otp {
+            snc: SncConfig::paper_default().with_capacity(256),
+        },
+        SecurityMode::otp_lru_64k(),
+    ];
+    for mode in modes {
+        for channels in [1usize, 2] {
+            for banks in [1usize, 4] {
+                for mshrs in [1usize, 4] {
+                    let cfg = grid_config(mode, channels, banks, mshrs);
+                    let cell = format!(
+                        "{} x{channels}ch x{banks}bk x{mshrs}mshr",
+                        cfg.label()
+                    );
+
+                    let mut machine = Machine::new(cfg.clone());
+                    let m = machine.run(&mut workload(), WARMUP, MEASURE);
+
+                    let mut server = SecureServer::new(ServerConfig::from_machine(cfg, 1));
+                    let s = server.run(&mut [workload()], WARMUP, MEASURE);
+
+                    assert_eq!(s.label, m.label, "{cell}: label");
+                    assert_eq!(s.compartments.len(), 1, "{cell}");
+                    let c0 = &s.compartments[0];
+                    assert_eq!(c0.stats, m.stats, "{cell}: run stats");
+                    assert_eq!(c0.l2, m.l2, "{cell}: L2 counters");
+                    assert_eq!(c0.mshr, m.mshr, "{cell}: MSHR counters");
+                    assert_eq!(s.traffic, m.traffic, "{cell}: traffic counters");
+                    assert_eq!(s.controller, m.controller, "{cell}: controller counters");
+                    assert_eq!(s.snc, m.snc, "{cell}: SNC counters");
+
+                    // With one compartment the partition is the whole:
+                    // its split equals the fabric totals, nobody else
+                    // evicted anything, and no switch ever fired.
+                    assert_eq!(c0.traffic, s.totals, "{cell}: traffic split");
+                    assert_eq!(c0.snc_evictions_by_others, 0, "{cell}");
+                    assert_eq!(s.context_switches, 0, "{cell}");
+                }
+            }
+        }
+    }
+}

@@ -368,6 +368,35 @@ impl SecureBackendConfig {
         self.snc_port_cycles = cycles;
         self
     }
+
+    /// A human-readable security/fabric label for this configuration:
+    /// the mode's display name plus shard/channel/bank/order/MLP
+    /// suffixes for every knob moved off its paper default. This is the
+    /// string [`crate::SecureBackend`] reports through
+    /// `MemoryBackend::label`, and machine- and server-level labels
+    /// build on it.
+    pub fn label(&self) -> String {
+        let mut label = self.mode.to_string();
+        if self.snc_shards > 1 {
+            label.push_str(&format!(" x{} shards", self.snc_shards));
+        }
+        if self.mem_channels > 1 {
+            label.push_str(&format!(" x{}ch", self.mem_channels));
+        }
+        if self.mem_banks > 1 {
+            label.push_str(&format!(" x{}bk", self.mem_banks));
+            if self.page_policy == padlock_mem::PagePolicy::Closed {
+                label.push_str("-cp");
+            }
+        }
+        if self.drain_order == padlock_mem::DrainOrder::RowFirst {
+            label.push_str(" frfcfs");
+        }
+        if self.max_inflight > 1 {
+            label.push_str(&format!(" mlp{}", self.max_inflight));
+        }
+        label
+    }
 }
 
 #[cfg(test)]

@@ -102,7 +102,7 @@ use crate::engine::{CryptoTimeline, MemTxn, SncPorts, SpecWindow, TxnOp};
 use crate::snc::{SncLookup, SncQueryUndo};
 use crate::snc_shards::SncShards;
 use padlock_cpu::{LineKind, MemoryBackend};
-use padlock_mem::{ChannelSet, ChannelSnapshot, DrainOrder, PagePolicy, TrafficClass};
+use padlock_mem::{ChannelSet, ChannelSnapshot, DrainOrder, TrafficClass};
 use padlock_stats::CounterSet;
 use std::collections::{BTreeSet, VecDeque};
 
@@ -192,6 +192,16 @@ pub struct SecureBackend {
     /// Channel snapshot backing the open window's rollback; reused
     /// across windows so steady-state speculation does not allocate.
     spec_snapshot: ChannelSnapshot,
+    /// The compartment whose traffic is currently entering the shared
+    /// fabric; every enqueued [`MemTxn`] is tagged with it. Single-core
+    /// machines never move it off 0.
+    active_requestor: u16,
+    /// Per-compartment count of SNC entries this compartment *lost* to
+    /// a different compartment's install or context-switch flush —
+    /// indexed by the victim's compartment, bumped only when the active
+    /// requestor differs from the victim's owner. The fairness signal
+    /// of the shared SNC.
+    snc_evicted_by_others: Vec<u64>,
 }
 
 /// Everything one speculated singleton read mutates, captured before
@@ -338,6 +348,43 @@ impl SecureBackend {
             scratch: WindowScratch::default(),
             spec: SpecWindow::Closed,
             spec_snapshot: ChannelSnapshot::new(),
+            active_requestor: 0,
+            snc_evicted_by_others: Vec::new(),
+        }
+    }
+
+    /// Declares which compartment's traffic enters the fabric next;
+    /// every transaction enqueued after this call is tagged with
+    /// `requestor`, and SNC victims owned by *other* compartments are
+    /// charged against it. The multi-core server calls this before
+    /// each core's scheduling step.
+    pub fn set_active_requestor(&mut self, requestor: u16) {
+        self.active_requestor = requestor;
+    }
+
+    /// The compartment currently tagged onto enqueued transactions.
+    pub fn active_requestor(&self) -> u16 {
+        self.active_requestor
+    }
+
+    /// Per-compartment counts of SNC entries evicted by a *different*
+    /// compartment's install or context-switch flush, indexed by the
+    /// victim entry's compartment ([`crate::server::compartment_of`] of
+    /// its line address). Compartments past the last victim are absent
+    /// (treat missing as 0).
+    pub fn snc_evicted_by_others(&self) -> &[u64] {
+        &self.snc_evicted_by_others
+    }
+
+    /// Charges the eviction of `victim_line` to the active requestor if
+    /// the victim belongs to a different compartment.
+    fn note_snc_eviction(&mut self, victim_line: u64) {
+        let owner = crate::server::compartment_of(victim_line);
+        if owner != usize::from(self.active_requestor) {
+            if self.snc_evicted_by_others.len() <= owner {
+                self.snc_evicted_by_others.resize(owner + 1, 0);
+            }
+            self.snc_evicted_by_others[owner] += 1;
         }
     }
 
@@ -535,6 +582,9 @@ impl SecureBackend {
             );
         }
         self.stats.context_flush_entries += entries.len() as u64;
+        for entry in &entries {
+            self.note_snc_eviction(entry.line_addr);
+        }
         entries.len()
     }
 
@@ -792,6 +842,7 @@ impl SecureBackend {
                     let spill_ready = seq_ready + self.crypto_latency();
                     let snc = self.snc.as_mut().expect("OTP mode has an SNC");
                     if let Some(victim) = snc.install(line_addr, 1) {
+                        self.note_snc_eviction(victim.line_addr);
                         self.spill_seq(arrival, spill_ready, victim.line_addr);
                     }
                     line_fetched.max(pad_done) + 1
@@ -867,6 +918,7 @@ impl SecureBackend {
                             }
                             let snc = self.snc.as_mut().expect("OTP mode has an SNC");
                             if let Some(victim) = snc.install(line_addr, 1) {
+                                self.note_snc_eviction(victim.line_addr);
                                 let spill_ready = now + crypto;
                                 self.spill_seq(now, spill_ready, victim.line_addr);
                             }
@@ -884,7 +936,8 @@ impl SecureBackend {
 impl MemoryBackend for SecureBackend {
     fn line_read(&mut self, now: u64, line_addr: u64, kind: LineKind) -> u64 {
         self.spec_abort();
-        self.queue.push_back(MemTxn::read(now, line_addr, kind));
+        self.queue
+            .push_back(MemTxn::read(now, line_addr, kind).with_requestor(self.active_requestor));
         let mut out = Vec::with_capacity(1);
         self.drain_window(&mut out);
         out[0]
@@ -897,7 +950,9 @@ impl MemoryBackend for SecureBackend {
             if self.queue.len() >= self.config.max_inflight {
                 self.drain_window(&mut out);
             }
-            self.queue.push_back(MemTxn::read(now, line_addr, kind));
+            self.queue.push_back(
+                MemTxn::read(now, line_addr, kind).with_requestor(self.active_requestor),
+            );
         }
         self.drain_window(&mut out);
         out
@@ -910,7 +965,9 @@ impl MemoryBackend for SecureBackend {
             if self.queue.len() >= self.config.max_inflight {
                 self.drain_window(&mut out);
             }
-            self.queue.push_back(MemTxn::read(at, line_addr, kind));
+            self.queue.push_back(
+                MemTxn::read(at, line_addr, kind).with_requestor(self.active_requestor),
+            );
         }
         self.drain_window(&mut out);
         out
@@ -918,7 +975,8 @@ impl MemoryBackend for SecureBackend {
 
     fn line_writeback(&mut self, now: u64, line_addr: u64) {
         self.spec_abort();
-        self.queue.push_back(MemTxn::writeback(now, line_addr));
+        self.queue
+            .push_back(MemTxn::writeback(now, line_addr).with_requestor(self.active_requestor));
         let mut out = Vec::new();
         self.drain_window(&mut out);
         // Writebacks post and drain synchronously, so no later read can
@@ -1110,6 +1168,7 @@ impl MemoryBackend for SecureBackend {
                 if let Some(install) = cp.seq_install {
                     let snc = self.snc.as_mut().expect("a SeqFetch window implies an SNC");
                     if let Some(victim) = snc.install(cp.line_addr, 1) {
+                        self.note_snc_eviction(victim.line_addr);
                         self.spill_seq(install.arrival, install.spill_ready, victim.line_addr);
                     }
                 }
@@ -1160,32 +1219,14 @@ impl MemoryBackend for SecureBackend {
         self.spec_abort();
         self.channels.reset_stats();
         self.stats = ControllerStats::default();
+        self.snc_evicted_by_others.clear();
         if let Some(snc) = self.snc.as_mut() {
             snc.reset_stats();
         }
     }
 
     fn label(&self) -> String {
-        let mut label = self.config.mode.to_string();
-        if self.config.snc_shards > 1 {
-            label.push_str(&format!(" x{} shards", self.config.snc_shards));
-        }
-        if self.config.mem_channels > 1 {
-            label.push_str(&format!(" x{}ch", self.config.mem_channels));
-        }
-        if self.config.mem_banks > 1 {
-            label.push_str(&format!(" x{}bk", self.config.mem_banks));
-            if self.config.page_policy == PagePolicy::Closed {
-                label.push_str("-cp");
-            }
-        }
-        if self.config.drain_order == DrainOrder::RowFirst {
-            label.push_str(" frfcfs");
-        }
-        if self.config.max_inflight > 1 {
-            label.push_str(&format!(" mlp{}", self.config.max_inflight));
-        }
-        label
+        self.config.label()
     }
 }
 
@@ -1919,5 +1960,63 @@ mod tests {
             parked.line_read_batch_at(&reqs)
         );
         assert_state_eq(&spec, &parked);
+    }
+
+    #[test]
+    fn idle_accounts_for_every_compartments_inflight_txns() {
+        // `drain_on_idle` keys on `is_idle`; with several compartments
+        // sharing the backend, a queued transaction from *any*
+        // requestor must keep the fabric non-idle, or one compartment's
+        // adaptive drain would fire under another's in-flight miss.
+        let mut b = SecureBackend::new(otp_cfg(SncPolicy::Lru, 1024).with_max_inflight(8));
+        assert!(b.is_idle(0), "fresh backend is quiescent");
+        b.queue
+            .push_back(MemTxn::read(10, 0x8000, LineKind::Data).with_requestor(0));
+        b.queue
+            .push_back(MemTxn::read(12, (1 << 40) + 0x8000, LineKind::Data).with_requestor(1));
+        assert!(
+            !b.is_idle(u64::MAX),
+            "queued transactions from any compartment must block idle"
+        );
+        let mut out = Vec::new();
+        b.drain_window(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(
+            b.is_idle(u64::MAX),
+            "after the drain retires every compartment's transactions the fabric is idle"
+        );
+    }
+
+    #[test]
+    fn snc_evictions_by_other_compartments_are_attributed() {
+        let mut b = SecureBackend::new(otp_cfg(SncPolicy::Lru, 8));
+        // Compartment 0 fills the 8-entry SNC with its own lines.
+        b.set_active_requestor(0);
+        for i in 0..8u64 {
+            b.line_writeback(i * 1_000, i * 128);
+        }
+        assert!(b.snc_evicted_by_others().iter().all(|&n| n == 0));
+        // Compartment 1 installs into the full SNC: the LRU victims are
+        // compartment 0's entries, charged as evictions by others.
+        b.set_active_requestor(1);
+        for i in 0..4u64 {
+            b.line_writeback(100_000 + i * 1_000, (1 << 40) + i * 128);
+        }
+        assert_eq!(b.snc_evicted_by_others(), &[4]);
+        // Evicting its own (now-oldest) survivors charges nobody.
+        b.set_active_requestor(0);
+        for i in 8..10u64 {
+            b.line_writeback(200_000 + i * 1_000, i * 128);
+        }
+        assert_eq!(b.snc_evicted_by_others(), &[4]);
+        // A context-switch flush with compartment 1 incoming charges it
+        // for compartment 0's four remaining entries but not its own.
+        b.set_active_requestor(1);
+        let flushed = b.context_switch_flush(1_000_000);
+        assert_eq!(flushed, 8);
+        assert_eq!(b.snc_evicted_by_others(), &[4 + 4]);
+        // reset_stats clears the attribution like every other counter.
+        b.reset_stats();
+        assert!(b.snc_evicted_by_others().is_empty());
     }
 }

@@ -49,25 +49,39 @@ pub struct MemTxn {
     pub op: TxnOp,
     /// Cycle the request entered the in-flight queue.
     pub arrival: u64,
+    /// The requestor (compartment/core index) the transaction belongs
+    /// to. Single-core machines leave this at 0; the multi-compartment
+    /// server tags each core's traffic so shared-fabric arbitration
+    /// across compartments stays attributable.
+    pub requestor: u16,
 }
 
 impl MemTxn {
-    /// A read transaction arriving at `arrival`.
+    /// A read transaction arriving at `arrival` (requestor 0).
     pub fn read(arrival: u64, line_addr: u64, kind: LineKind) -> Self {
         Self {
             line_addr,
             op: TxnOp::Read(kind),
             arrival,
+            requestor: 0,
         }
     }
 
-    /// A writeback transaction arriving at `arrival`.
+    /// A writeback transaction arriving at `arrival` (requestor 0).
     pub fn writeback(arrival: u64, line_addr: u64) -> Self {
         Self {
             line_addr,
             op: TxnOp::Writeback,
             arrival,
+            requestor: 0,
         }
+    }
+
+    /// Tags the transaction with its requestor compartment (builder
+    /// style).
+    pub fn with_requestor(mut self, requestor: u16) -> Self {
+        self.requestor = requestor;
+        self
     }
 }
 
@@ -346,8 +360,10 @@ mod tests {
         let r = MemTxn::read(5, 0x4000, LineKind::Data);
         assert_eq!(r.op, TxnOp::Read(LineKind::Data));
         assert_eq!(r.arrival, 5);
-        let w = MemTxn::writeback(9, 0x8000);
+        assert_eq!(r.requestor, 0);
+        let w = MemTxn::writeback(9, 0x8000).with_requestor(3);
         assert_eq!(w.op, TxnOp::Writeback);
         assert_eq!(w.line_addr, 0x8000);
+        assert_eq!(w.requestor, 3);
     }
 }

@@ -57,6 +57,7 @@ mod controller;
 pub mod engine;
 mod machine;
 mod secure_mem;
+pub mod server;
 mod snc;
 mod snc_shards;
 pub mod vendor;
@@ -65,6 +66,9 @@ pub use config::{SecureBackendConfig, SecurityMode, SeedScheme, SncConfig, SncOr
 pub use controller::SecureBackend;
 pub use engine::{MemTxn, SpecWindow, TxnOp};
 pub use machine::{Machine, MachineConfig, Measurement};
+pub use server::{
+    CompartmentReport, SecureServer, ServerConfig, ServerMeasurement, ServerSlot,
+};
 pub use secure_mem::{
     AttackOutcome, IntegrityMode, LineProtection, LineSnapshot, MapRegionError, SecureMemory,
     SecureMemoryError,
@@ -85,4 +89,7 @@ const _: () = {
     assert_send::<Measurement>();
     assert_send::<SecureBackend>();
     assert_send::<SecureBackendConfig>();
+    assert_send::<SecureServer>();
+    assert_send::<ServerConfig>();
+    assert_send::<ServerMeasurement>();
 };

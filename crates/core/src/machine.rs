@@ -35,6 +35,19 @@ impl MachineConfig {
             security: SecureBackendConfig::paper(SecurityMode::Xom),
         }
     }
+
+    /// The machine's report label: the backend's security/fabric label
+    /// ([`SecureBackendConfig::label`]) plus an ` x{n}mshr` suffix when
+    /// the L2 MSHR file holds more than the paper's single entry — so
+    /// two machines differing only in MSHR depth never collide in a
+    /// report table.
+    pub fn label(&self) -> String {
+        let mut label = self.security.label();
+        if self.hierarchy.l2_mshrs > 1 {
+            label.push_str(&format!(" x{}mshr", self.hierarchy.l2_mshrs));
+        }
+        label
+    }
 }
 
 /// Everything measured over one window.
@@ -86,15 +99,17 @@ impl Measurement {
 #[derive(Debug)]
 pub struct Machine {
     core: Core<SecureBackend>,
+    label: String,
 }
 
 impl Machine {
     /// Builds the machine.
     pub fn new(config: MachineConfig) -> Self {
+        let label = config.label();
         let backend = SecureBackend::new(config.security);
         let hierarchy = Hierarchy::new(config.hierarchy, backend);
         let core = Core::with_hierarchy(config.pipeline, hierarchy);
-        Self { core }
+        Self { core, label }
     }
 
     /// Direct access to the core (advanced use).
@@ -132,7 +147,7 @@ impl Machine {
                 .snc()
                 .map(|s| s.stats())
                 .unwrap_or_else(|| CounterSet::new("snc")),
-            label: h.backend().label(),
+            label: self.label.clone(),
         }
     }
 }

@@ -1,0 +1,102 @@
+//! Partition properties of the secure server's per-compartment
+//! accounting.
+//!
+//! The load-bearing claim: the per-compartment fairness counters are
+//! *splits* of the shared fabric's aggregates, not parallel estimates —
+//! summing any counter over all compartments reproduces the shared
+//! total exactly. The attribution is delta-snapshot based (the server
+//! samples [`padlock_mem::TrafficTotals`] at every ownership change),
+//! so the partition must hold for every traffic class — demand lines,
+//! sequence-number reads and writes, bytes, row hits and conflicts —
+//! under any mix of core counts, fabric widths, bank counts, and
+//! context-switch quanta. This mirrors `channel_properties`, which pins
+//! the same conservation one layer down (per-channel vs fabric).
+
+use padlock_core::{SecureServer, SecurityMode, ServerConfig, SncConfig};
+use padlock_cpu::{OffsetWorkload, StrideWorkload};
+use padlock_mem::{TrafficClass, TrafficTotals};
+use proptest::prelude::*;
+
+fn mode_strategy() -> impl Strategy<Value = SecurityMode> {
+    prop::sample::select(vec![
+        SecurityMode::Insecure,
+        SecurityMode::Xom,
+        SecurityMode::Otp {
+            snc: SncConfig::paper_default().with_capacity(256),
+        },
+        SecurityMode::otp_lru_64k(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sum over compartments of every per-compartment traffic counter
+    /// equals the shared fabric's aggregate, bit for bit.
+    #[test]
+    fn compartment_splits_partition_the_aggregate(
+        mode in mode_strategy(),
+        cores in 1usize..4,
+        channels in prop::sample::select(vec![1usize, 2]),
+        banks in prop::sample::select(vec![1usize, 4]),
+        switch in prop::sample::select(vec![None, Some(5_000u64), Some(20_000u64)]),
+        mem_frac in prop::sample::select(vec![0.2f64, 0.5, 0.8]),
+    ) {
+        let machine = padlock_core::MachineConfig {
+            pipeline: padlock_cpu::PipelineConfig::paper_default(),
+            hierarchy: padlock_cpu::HierarchyConfig::paper_default(),
+            security: padlock_core::SecureBackendConfig::paper(mode)
+                .with_mem_channels(channels)
+                .with_snc_shards(channels)
+                .with_mem_banks(banks),
+        };
+        let mut config = ServerConfig::from_machine(machine, cores);
+        if let Some(interval) = switch {
+            config = config.with_switch_interval(interval);
+        }
+        let mut server = SecureServer::new(config);
+        let mut loads: Vec<_> = (0..cores)
+            .map(|c| OffsetWorkload::new(
+                StrideWorkload::new(8 << 20, 128, mem_frac),
+                padlock_core::server::compartment_base(c),
+            ))
+            .collect();
+        let meas = server.run(&mut loads, 1_000, 5_000);
+
+        let sum = meas
+            .compartments
+            .iter()
+            .fold(TrafficTotals::default(), |acc, r| acc.plus(r.traffic));
+        prop_assert_eq!(sum, meas.totals, "per-compartment splits must reassemble");
+
+        // Spot-check the classes against the aggregate CounterSet the
+        // backend reports through `MemoryBackend::traffic`, so the
+        // split, the totals, and the counter names all agree.
+        for class in [
+            TrafficClass::LineRead,
+            TrafficClass::LineWrite,
+            TrafficClass::SeqRead,
+            TrafficClass::SeqWrite,
+        ] {
+            let split: u64 = meas.compartments.iter().map(|r| r.traffic.count(class)).sum();
+            prop_assert_eq!(split, meas.traffic.get(class.counter()),
+                "class {:?}", class);
+        }
+        let split_hits: u64 = meas.compartments.iter().map(|r| r.traffic.row_hits).sum();
+        let split_conf: u64 = meas.compartments.iter().map(|r| r.traffic.row_conflicts).sum();
+        prop_assert_eq!(split_hits, meas.traffic.get("row_hits"));
+        prop_assert_eq!(split_conf, meas.traffic.get("row_conflicts"));
+
+        // Every compartment committed its window.
+        for report in &meas.compartments {
+            prop_assert_eq!(report.stats.instructions, 5_000);
+        }
+
+        // SNC cross-eviction charges only exist where an SNC does.
+        if !meas.label.contains("SNC") {
+            for report in &meas.compartments {
+                prop_assert_eq!(report.snc_evictions_by_others, 0);
+            }
+        }
+    }
+}

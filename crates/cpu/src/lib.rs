@@ -46,8 +46,8 @@ pub use hierarchy::{
     Access, AccessToken, Hierarchy, HierarchyConfig, InsecureBackend, LineKind, MemoryBackend,
     MemoryChannel,
 };
-pub use op::{MicroOp, OpClass, StrideWorkload, Workload};
-pub use pipeline::{Core, PipelineConfig, RunStats};
+pub use op::{MicroOp, OffsetWorkload, OpClass, StrideWorkload, Workload};
+pub use pipeline::{Core, PipelineConfig, RunSession, RunStats};
 
 // The sweep executor simulates one hierarchy per worker thread; these
 // bounds keep the pipeline and memory model `Send` so a sweep can move

@@ -127,6 +127,67 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
     }
 }
 
+/// Relocates a workload's address stream into a compartment's stripe:
+/// every program counter and data address is offset by a fixed base.
+///
+/// Dependence distances, op classes, and branch directions pass through
+/// untouched, so the relocated stream exercises a pipeline identically
+/// to the original — only the cache/memory addresses move. A
+/// multi-core server uses one of these per core to keep compartment
+/// address spaces disjoint.
+///
+/// # Examples
+///
+/// ```
+/// use padlock_cpu::{OffsetWorkload, OpClass, StrideWorkload, Workload};
+///
+/// let mut w = OffsetWorkload::new(StrideWorkload::new(4096, 64, 1.0), 1 << 40);
+/// let op = w.next_op();
+/// assert!(op.pc >= 1 << 40);
+/// if let OpClass::Load(a) | OpClass::Store(a) = op.class {
+///     assert!(a >= 1 << 40);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OffsetWorkload<W> {
+    inner: W,
+    offset: u64,
+}
+
+impl<W: Workload> OffsetWorkload<W> {
+    /// Wraps `inner`, offsetting every address by `offset`.
+    pub fn new(inner: W, offset: u64) -> Self {
+        Self { inner, offset }
+    }
+
+    /// The wrapped workload.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    /// The address offset applied.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl<W: Workload> Workload for OffsetWorkload<W> {
+    fn next_op(&mut self) -> MicroOp {
+        let mut op = self.inner.next_op();
+        op.pc = op.pc.wrapping_add(self.offset);
+        op.class = match op.class {
+            OpClass::Load(a) => OpClass::Load(a.wrapping_add(self.offset)),
+            OpClass::Store(a) => OpClass::Store(a.wrapping_add(self.offset)),
+            other => other,
+        };
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
 /// A minimal built-in workload: strided loads/stores over a working set,
 /// with ALU filler.
 ///

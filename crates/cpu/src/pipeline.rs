@@ -284,386 +284,457 @@ impl<B: MemoryBackend> Core<B> {
     /// Successive calls continue from the current microarchitectural
     /// state (warm caches, trained predictor), so the idiomatic pattern
     /// is one warm-up call followed by `reset_stats` and a measured call.
+    ///
+    /// Equivalent to [`Core::begin_run`] / [`Core::step_run`] /
+    /// [`Core::finish_run`] driven to completion — the multi-core
+    /// server interleaves several cores' sessions through that split
+    /// surface, so a single-core run and a one-core server run execute
+    /// the identical sequence of hierarchy calls by construction.
     pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W, n_ops: u64) -> RunStats {
-        let mut stats = RunStats::default();
-        let start_cycle = self.now;
+        let mut session = self.begin_run(n_ops);
+        while self.step_run(&mut session, workload) {}
+        self.finish_run(session)
+    }
 
+    /// Opens a run session targeting `n_ops` committed ops.
+    ///
+    /// The session owns all per-window execution state (ROB, ready
+    /// sets, calendars, front-end latches); the core keeps only its
+    /// persistent microarchitecture (caches, predictor, clock). Drive
+    /// it with [`Core::step_run`] and close it with
+    /// [`Core::finish_run`].
+    pub fn begin_run(&mut self, n_ops: u64) -> RunSession {
         let rob_size = self.config.rob_size;
-        let mut rob: VecDeque<Slot> = VecDeque::with_capacity(rob_size);
-        let mut base: u64 = 0; // sequence number of rob.front()
-        let mut dispatched: u64 = 0;
-        let mut committed: u64 = 0;
+        RunSession {
+            stats: RunStats::default(),
+            start_cycle: self.now,
+            n_ops,
+            rob: VecDeque::with_capacity(rob_size),
+            base: 0,
+            dispatched: 0,
+            committed: 0,
+            pending_loads: BTreeMap::new(),
+            resolved_buf: Vec::new(),
+            completions: BinaryHeap::with_capacity(rob_size * 2),
+            ready_mem: BTreeSet::new(),
+            ready_alu: BTreeSet::new(),
+            ready_cal: BTreeMap::new(),
+            vec_pool: Vec::new(),
+            fetch_ready_at: 0,
+            redirect_pending: false,
+            fetch_resume_at: 0,
+            pending_op: None,
+            last_fetch_line: u64::MAX,
+            l1i_line: self.hierarchy.config().l1i.line_bytes() as u64,
+        }
+    }
 
-        // Loads waiting on in-flight L2 misses: MSHR token -> absolute
-        // ROB sequence number of the load's slot.
-        // BTreeMap (padlock-lint D1): token -> ROB slot bookkeeping must
-        // stay deterministic if it is ever iterated or debugged.
-        let mut pending_loads: BTreeMap<AccessToken, u64> = BTreeMap::new();
-        let mut resolved_buf: Vec<(AccessToken, u64)> = Vec::new();
+    /// Executes one scheduling step of the session: one pass of the
+    /// collect/commit/issue/fetch loop ending in a clock advance (or an
+    /// MSHR drain re-run). Returns `false` once the session's commit
+    /// target is reached — call [`Core::finish_run`] then.
+    pub fn step_run<W: Workload + ?Sized>(&mut self, s: &mut RunSession, workload: &mut W) -> bool {
+        if s.committed >= s.n_ops {
+            return false;
+        }
+        let now = self.now;
+        let mut progress = false;
 
-        // Event calendar: future completion cycles of issued ops (and
-        // resolved misses). The min drives the no-progress time jump.
-        let mut completions: BinaryHeap<Reverse<u64>> = BinaryHeap::with_capacity(rob_size * 2);
-        // Ready tracking: slots whose producers are all known-complete,
-        // split by port class, in program order (BTreeSet: padlock-lint
-        // D1, and the merge walk needs ordered iteration anyway).
-        let mut ready_mem: BTreeSet<u64> = BTreeSet::new();
-        let mut ready_alu: BTreeSet<u64> = BTreeSet::new();
-        // Slots unblocked but not ready until a future cycle.
-        let mut ready_cal: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-        // Recycled consumer/calendar vectors (keeps the hot loop off the
-        // allocator).
-        let mut vec_pool: Vec<Vec<u64>> = Vec::new();
-
-        // Front-end state.
-        let mut fetch_ready_at: u64 = 0; // I-miss stall
-        let mut redirect_pending = false; // mispredict: blocked until resolve
-        let mut fetch_resume_at: u64 = 0;
-        let mut pending_op: Option<crate::op::MicroOp> = None;
-        let mut last_fetch_line: u64 = u64::MAX;
-        let l1i_line = self.hierarchy.config().l1i.line_bytes() as u64;
-
-        while committed < n_ops {
-            let now = self.now;
-            let mut progress = false;
-
-            // ---- Collect resolved fills ----
-            // A hierarchy drain (MSHR-file exhaustion inside an access,
-            // the forced stall-on-use drain below, or an eagerly
-            // scheduled completion) resolves pending loads to their real
-            // completion cycles.
-            self.hierarchy.take_resolutions(&mut resolved_buf);
-            for (token, done) in resolved_buf.drain(..) {
-                let Some(seq) = pending_loads.remove(&token) else {
-                    continue; // fire-and-forget store fill
-                };
-                if seq >= base {
-                    let idx = (seq - base) as usize;
-                    rob[idx].complete_at = done;
-                    if done > now {
-                        completions.push(Reverse(done));
-                    }
-                    complete_producer(
-                        &mut rob,
-                        base,
-                        now,
-                        idx,
-                        done,
-                        &mut ready_mem,
-                        &mut ready_alu,
-                        &mut ready_cal,
-                        &mut vec_pool,
-                    );
+        // ---- Collect resolved fills ----
+        // A hierarchy drain (MSHR-file exhaustion inside an access,
+        // the forced stall-on-use drain below, or an eagerly
+        // scheduled completion) resolves pending loads to their real
+        // completion cycles.
+        self.hierarchy.take_resolutions(&mut s.resolved_buf);
+        for (token, done) in s.resolved_buf.drain(..) {
+            let Some(seq) = s.pending_loads.remove(&token) else {
+                continue; // fire-and-forget store fill
+            };
+            if seq >= s.base {
+                let idx = (seq - s.base) as usize;
+                s.rob[idx].complete_at = done;
+                if done > now {
+                    s.completions.push(Reverse(done));
                 }
-            }
-
-            // ---- Stall on use ----
-            // The oldest op is a load still waiting on an in-flight
-            // miss: commit is blocked on it, so the MSHR file drains
-            // now — issuing every accumulated miss as one batch (each
-            // charged from its own arrival) — and this cycle re-runs
-            // with the resolved completion cycles.
-            if self.hierarchy.pending_misses() > 0
-                && rob
-                    .front()
-                    .is_some_and(|s| s.issued && s.complete_at == PENDING)
-            {
-                self.hierarchy.drain_pending();
-                continue;
-            }
-
-            // ---- Commit ----
-            let mut commits = 0;
-            while commits < self.config.commit_width {
-                match rob.front() {
-                    Some(slot) if slot.issued && slot.complete_at <= now => {
-                        debug_assert!(
-                            slot.consumers.is_empty(),
-                            "committed slot with unnotified consumers"
-                        );
-                        if let Some(mut slot) = rob.pop_front() {
-                            slot.consumers.clear();
-                            vec_pool.push(slot.consumers);
-                        }
-                        base += 1;
-                        committed += 1;
-                        commits += 1;
-                        progress = true;
-                        if committed >= n_ops {
-                            break;
-                        }
-                    }
-                    _ => break,
-                }
-            }
-            if committed >= n_ops {
-                break;
-            }
-
-            // ---- Issue (oldest first, from the ready sets) ----
-            // Promote slots whose readiness cycle has arrived.
-            while ready_cal.first_key_value().is_some_and(|(&t, _)| t <= now) {
-                let Some((_, seqs)) = ready_cal.pop_first() else {
-                    break;
-                };
-                for &s in &seqs {
-                    let idx = (s - base) as usize;
-                    if rob[idx].is_mem {
-                        ready_mem.insert(s);
-                    } else {
-                        ready_alu.insert(s);
-                    }
-                }
-                let mut seqs = seqs;
-                seqs.clear();
-                vec_pool.push(seqs);
-            }
-            // Merge-walk the two ready sets in program order: the
-            // issue-width cap ends the walk, the memory-port cap skips
-            // memory ops while younger non-memory ops still issue —
-            // exactly the seed scan's behaviour.
-            let mut issues = 0;
-            let mut mem_issues = 0;
-            while issues < self.config.issue_width {
-                let mem_head = if mem_issues < self.config.mem_ports {
-                    ready_mem.first().copied()
-                } else {
-                    None
-                };
-                let alu_head = ready_alu.first().copied();
-                let seq = match (mem_head, alu_head) {
-                    (Some(m), Some(a)) => m.min(a),
-                    (Some(m), None) => m,
-                    (None, Some(a)) => a,
-                    (None, None) => break,
-                };
-                let idx = (seq - base) as usize;
-                let kind = rob[idx].kind;
-                let is_mem = rob[idx].is_mem;
-                if is_mem {
-                    ready_mem.remove(&seq);
-                } else {
-                    ready_alu.remove(&seq);
-                }
-                let complete_at = match kind {
-                    SlotKind::Fixed(lat) => now + lat,
-                    SlotKind::Load(addr) => match self.hierarchy.data_access_nb(now, addr, false) {
-                        Access::Ready(done) => done,
-                        Access::Pending(token) => {
-                            // The miss sits in the MSHR file; the slot
-                            // completes when a drain or a scheduled
-                            // completion resolves it.
-                            pending_loads.insert(token, seq);
-                            PENDING
-                        }
-                    },
-                    SlotKind::Store(addr) => {
-                        // The store retires via the store buffer; the line
-                        // fill proceeds in the background (a pending fill
-                        // stays in the MSHR file until a later drain).
-                        let _ = self.hierarchy.data_access_nb(now, addr, true);
-                        now + 1
-                    }
-                    SlotKind::BranchRedirect => {
-                        let done = now + 1;
-                        redirect_pending = false;
-                        fetch_resume_at = done + self.config.mispredict_penalty;
-                        done
-                    }
-                };
-                {
-                    let s = &mut rob[idx];
-                    s.issued = true;
-                    s.complete_at = complete_at;
-                }
-                issues += 1;
-                if is_mem {
-                    mem_issues += 1;
-                }
-                if complete_at != PENDING {
-                    if complete_at > now {
-                        completions.push(Reverse(complete_at));
-                    }
-                    complete_producer(
-                        &mut rob,
-                        base,
-                        now,
-                        idx,
-                        complete_at,
-                        &mut ready_mem,
-                        &mut ready_alu,
-                        &mut ready_cal,
-                        &mut vec_pool,
-                    );
-                }
-                progress = true;
-            }
-
-            // ---- Fetch / dispatch ----
-            let mut fetched = 0;
-            while fetched < self.config.fetch_width
-                && rob.len() < rob_size
-                && !redirect_pending
-                && now >= fetch_resume_at
-                && now >= fetch_ready_at
-                && dispatched < n_ops + rob_size as u64
-            {
-                let op = match pending_op.take() {
-                    Some(op) => op,
-                    None => workload.next_op(),
-                };
-                // I-cache: a new line triggers a fetch access.
-                let line = op.pc / l1i_line;
-                if line != last_fetch_line {
-                    let avail = self.hierarchy.inst_fetch(now, op.pc);
-                    last_fetch_line = line;
-                    if avail > now + self.hierarchy.config().l1_latency {
-                        // I-miss: hold the op until the line arrives.
-                        fetch_ready_at = avail;
-                        pending_op = Some(op);
-                        break;
-                    }
-                }
-
-                let seq = dispatched;
-                let to_abs = |dist: u16| -> u64 {
-                    if dist == 0 || u64::from(dist) > seq {
-                        NO_DEP
-                    } else {
-                        seq - u64::from(dist)
-                    }
-                };
-                let kind = match op.class {
-                    OpClass::Load(a) => SlotKind::Load(a),
-                    OpClass::Store(a) => SlotKind::Store(a),
-                    OpClass::Branch { taken } => {
-                        stats.branches += 1;
-                        let predicted = self.bpred.predict(op.pc);
-                        self.bpred.update(op.pc, taken);
-                        if predicted != taken {
-                            stats.mispredicts += 1;
-                            SlotKind::BranchRedirect
-                        } else {
-                            SlotKind::Fixed(1)
-                        }
-                    }
-                    other => SlotKind::Fixed(other.fixed_latency().expect("non-mem fixed")),
-                };
-                match op.class {
-                    OpClass::Load(_) => stats.loads += 1,
-                    OpClass::Store(_) => stats.stores += 1,
-                    _ => {}
-                }
-                let is_redirect = matches!(kind, SlotKind::BranchRedirect);
-                if is_redirect {
-                    redirect_pending = true;
-                    // Fetch stops after this branch until it resolves.
-                }
-                // Dependence registration: known-complete producers fold
-                // into ready_at; unknown ones get this slot as a
-                // consumer to notify later.
-                let is_mem = matches!(kind, SlotKind::Load(_) | SlotKind::Store(_));
-                let mut unresolved = 0u8;
-                let mut ready_at = 0u64;
-                for dep in [to_abs(op.dep1), to_abs(op.dep2)] {
-                    if dep == NO_DEP || dep < base {
-                        continue;
-                    }
-                    let p = &mut rob[(dep - base) as usize];
-                    if p.issued && p.complete_at != PENDING {
-                        ready_at = ready_at.max(p.complete_at);
-                    } else {
-                        p.consumers.push(seq);
-                        unresolved += 1;
-                    }
-                }
-                rob.push_back(Slot {
-                    kind,
-                    issued: false,
-                    complete_at: NOT_ISSUED,
-                    ready_at,
-                    unresolved,
-                    is_mem,
-                    consumers: vec_pool.pop().unwrap_or_default(),
-                });
-                if unresolved == 0 {
-                    if ready_at <= now {
-                        if is_mem {
-                            ready_mem.insert(seq);
-                        } else {
-                            ready_alu.insert(seq);
-                        }
-                    } else {
-                        ready_cal
-                            .entry(ready_at)
-                            .or_insert_with(|| vec_pool.pop().unwrap_or_default())
-                            .push(seq);
-                    }
-                }
-                dispatched += 1;
-                fetched += 1;
-                progress = true;
-                if is_redirect {
-                    break;
-                }
-            }
-
-            // ---- Advance time ----
-            if progress {
-                self.now += 1;
-            } else {
-                // Nothing happened: jump to the earliest future event.
-                // Parked loads have no completion cycle yet; they are
-                // excluded here and force a drain when nothing else can
-                // run.
-                while completions.peek().is_some_and(|&Reverse(t)| t <= now) {
-                    completions.pop();
-                }
-                let mut next = completions.peek().map_or(u64::MAX, |&Reverse(t)| t);
-                if fetch_ready_at > now {
-                    next = next.min(fetch_ready_at);
-                }
-                if fetch_resume_at > now && !redirect_pending {
-                    next = next.min(fetch_resume_at);
-                }
-                if let Some(c) = self.hierarchy.next_completion() {
-                    // Scheduled-but-uncollected miss completions (eager
-                    // issue) are events too.
-                    if c > now {
-                        next = next.min(c);
-                    }
-                }
-                if next == u64::MAX && self.hierarchy.pending_misses() > 0 {
-                    // Stall on use: every runnable op waits on an
-                    // in-flight miss, so the MSHR file drains. Each
-                    // miss is charged from its own arrival cycle, so
-                    // batching them here costs no simulated time.
-                    self.hierarchy.drain_pending();
-                    continue;
-                }
-                debug_assert!(
-                    next != u64::MAX,
-                    "stalled with no future event: rob={rob:?}"
+                complete_producer(
+                    &mut s.rob,
+                    s.base,
+                    now,
+                    idx,
+                    done,
+                    &mut s.ready_mem,
+                    &mut s.ready_alu,
+                    &mut s.ready_cal,
+                    &mut s.vec_pool,
                 );
-                if next == u64::MAX {
-                    stats.forced_steps += 1;
-                    self.now = now + 1;
-                } else {
-                    self.now = next;
-                }
             }
         }
 
-        // Window wrap-up: issue fills still sitting in the MSHR file
-        // (fire-and-forget store misses, loads past the commit target)
-        // so their memory traffic lands in this window's counters.
-        self.hierarchy.drain_pending();
-        self.hierarchy.take_resolutions(&mut resolved_buf);
-        resolved_buf.clear();
+        // ---- Stall on use ----
+        // The oldest op is a load still waiting on an in-flight
+        // miss: commit is blocked on it, so the MSHR file drains
+        // now — issuing every accumulated miss as one batch (each
+        // charged from its own arrival) — and this cycle re-runs
+        // with the resolved completion cycles.
+        if self.hierarchy.pending_misses() > 0
+            && s.rob
+                .front()
+                .is_some_and(|slot| slot.issued && slot.complete_at == PENDING)
+        {
+            self.hierarchy.drain_pending();
+            return true;
+        }
 
-        stats.instructions = committed;
-        stats.cycles = self.now - start_cycle;
-        stats
+        // ---- Commit ----
+        let mut commits = 0;
+        while commits < self.config.commit_width {
+            match s.rob.front() {
+                Some(slot) if slot.issued && slot.complete_at <= now => {
+                    debug_assert!(
+                        slot.consumers.is_empty(),
+                        "committed slot with unnotified consumers"
+                    );
+                    if let Some(mut slot) = s.rob.pop_front() {
+                        slot.consumers.clear();
+                        s.vec_pool.push(slot.consumers);
+                    }
+                    s.base += 1;
+                    s.committed += 1;
+                    commits += 1;
+                    progress = true;
+                    if s.committed >= s.n_ops {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if s.committed >= s.n_ops {
+            return false;
+        }
+
+        // ---- Issue (oldest first, from the ready sets) ----
+        // Promote slots whose readiness cycle has arrived.
+        while s.ready_cal.first_key_value().is_some_and(|(&t, _)| t <= now) {
+            let Some((_, seqs)) = s.ready_cal.pop_first() else {
+                break;
+            };
+            for &seq in &seqs {
+                let idx = (seq - s.base) as usize;
+                if s.rob[idx].is_mem {
+                    s.ready_mem.insert(seq);
+                } else {
+                    s.ready_alu.insert(seq);
+                }
+            }
+            let mut seqs = seqs;
+            seqs.clear();
+            s.vec_pool.push(seqs);
+        }
+        // Merge-walk the two ready sets in program order: the
+        // issue-width cap ends the walk, the memory-port cap skips
+        // memory ops while younger non-memory ops still issue —
+        // exactly the seed scan's behaviour.
+        let mut issues = 0;
+        let mut mem_issues = 0;
+        while issues < self.config.issue_width {
+            let mem_head = if mem_issues < self.config.mem_ports {
+                s.ready_mem.first().copied()
+            } else {
+                None
+            };
+            let alu_head = s.ready_alu.first().copied();
+            let seq = match (mem_head, alu_head) {
+                (Some(m), Some(a)) => m.min(a),
+                (Some(m), None) => m,
+                (None, Some(a)) => a,
+                (None, None) => break,
+            };
+            let idx = (seq - s.base) as usize;
+            let kind = s.rob[idx].kind;
+            let is_mem = s.rob[idx].is_mem;
+            if is_mem {
+                s.ready_mem.remove(&seq);
+            } else {
+                s.ready_alu.remove(&seq);
+            }
+            let complete_at = match kind {
+                SlotKind::Fixed(lat) => now + lat,
+                SlotKind::Load(addr) => match self.hierarchy.data_access_nb(now, addr, false) {
+                    Access::Ready(done) => done,
+                    Access::Pending(token) => {
+                        // The miss sits in the MSHR file; the slot
+                        // completes when a drain or a scheduled
+                        // completion resolves it.
+                        s.pending_loads.insert(token, seq);
+                        PENDING
+                    }
+                },
+                SlotKind::Store(addr) => {
+                    // The store retires via the store buffer; the line
+                    // fill proceeds in the background (a pending fill
+                    // stays in the MSHR file until a later drain).
+                    let _ = self.hierarchy.data_access_nb(now, addr, true);
+                    now + 1
+                }
+                SlotKind::BranchRedirect => {
+                    let done = now + 1;
+                    s.redirect_pending = false;
+                    s.fetch_resume_at = done + self.config.mispredict_penalty;
+                    done
+                }
+            };
+            {
+                let slot = &mut s.rob[idx];
+                slot.issued = true;
+                slot.complete_at = complete_at;
+            }
+            issues += 1;
+            if is_mem {
+                mem_issues += 1;
+            }
+            if complete_at != PENDING {
+                if complete_at > now {
+                    s.completions.push(Reverse(complete_at));
+                }
+                complete_producer(
+                    &mut s.rob,
+                    s.base,
+                    now,
+                    idx,
+                    complete_at,
+                    &mut s.ready_mem,
+                    &mut s.ready_alu,
+                    &mut s.ready_cal,
+                    &mut s.vec_pool,
+                );
+            }
+            progress = true;
+        }
+
+        // ---- Fetch / dispatch ----
+        let rob_size = self.config.rob_size;
+        let mut fetched = 0;
+        while fetched < self.config.fetch_width
+            && s.rob.len() < rob_size
+            && !s.redirect_pending
+            && now >= s.fetch_resume_at
+            && now >= s.fetch_ready_at
+            && s.dispatched < s.n_ops + rob_size as u64
+        {
+            let op = match s.pending_op.take() {
+                Some(op) => op,
+                None => workload.next_op(),
+            };
+            // I-cache: a new line triggers a fetch access.
+            let line = op.pc / s.l1i_line;
+            if line != s.last_fetch_line {
+                let avail = self.hierarchy.inst_fetch(now, op.pc);
+                s.last_fetch_line = line;
+                if avail > now + self.hierarchy.config().l1_latency {
+                    // I-miss: hold the op until the line arrives.
+                    s.fetch_ready_at = avail;
+                    s.pending_op = Some(op);
+                    break;
+                }
+            }
+
+            let seq = s.dispatched;
+            let to_abs = |dist: u16| -> u64 {
+                if dist == 0 || u64::from(dist) > seq {
+                    NO_DEP
+                } else {
+                    seq - u64::from(dist)
+                }
+            };
+            let kind = match op.class {
+                OpClass::Load(a) => SlotKind::Load(a),
+                OpClass::Store(a) => SlotKind::Store(a),
+                OpClass::Branch { taken } => {
+                    s.stats.branches += 1;
+                    let predicted = self.bpred.predict(op.pc);
+                    self.bpred.update(op.pc, taken);
+                    if predicted != taken {
+                        s.stats.mispredicts += 1;
+                        SlotKind::BranchRedirect
+                    } else {
+                        SlotKind::Fixed(1)
+                    }
+                }
+                other => SlotKind::Fixed(other.fixed_latency().expect("non-mem fixed")),
+            };
+            match op.class {
+                OpClass::Load(_) => s.stats.loads += 1,
+                OpClass::Store(_) => s.stats.stores += 1,
+                _ => {}
+            }
+            let is_redirect = matches!(kind, SlotKind::BranchRedirect);
+            if is_redirect {
+                s.redirect_pending = true;
+                // Fetch stops after this branch until it resolves.
+            }
+            // Dependence registration: known-complete producers fold
+            // into ready_at; unknown ones get this slot as a
+            // consumer to notify later.
+            let is_mem = matches!(kind, SlotKind::Load(_) | SlotKind::Store(_));
+            let mut unresolved = 0u8;
+            let mut ready_at = 0u64;
+            for dep in [to_abs(op.dep1), to_abs(op.dep2)] {
+                if dep == NO_DEP || dep < s.base {
+                    continue;
+                }
+                let p = &mut s.rob[(dep - s.base) as usize];
+                if p.issued && p.complete_at != PENDING {
+                    ready_at = ready_at.max(p.complete_at);
+                } else {
+                    p.consumers.push(seq);
+                    unresolved += 1;
+                }
+            }
+            s.rob.push_back(Slot {
+                kind,
+                issued: false,
+                complete_at: NOT_ISSUED,
+                ready_at,
+                unresolved,
+                is_mem,
+                consumers: s.vec_pool.pop().unwrap_or_default(),
+            });
+            if unresolved == 0 {
+                if ready_at <= now {
+                    if is_mem {
+                        s.ready_mem.insert(seq);
+                    } else {
+                        s.ready_alu.insert(seq);
+                    }
+                } else {
+                    s.ready_cal
+                        .entry(ready_at)
+                        .or_insert_with(|| s.vec_pool.pop().unwrap_or_default())
+                        .push(seq);
+                }
+            }
+            s.dispatched += 1;
+            fetched += 1;
+            progress = true;
+            if is_redirect {
+                break;
+            }
+        }
+
+        // ---- Advance time ----
+        if progress {
+            self.now += 1;
+        } else {
+            // Nothing happened: jump to the earliest future event.
+            // Parked loads have no completion cycle yet; they are
+            // excluded here and force a drain when nothing else can
+            // run.
+            while s.completions.peek().is_some_and(|&Reverse(t)| t <= now) {
+                s.completions.pop();
+            }
+            let mut next = s.completions.peek().map_or(u64::MAX, |&Reverse(t)| t);
+            if s.fetch_ready_at > now {
+                next = next.min(s.fetch_ready_at);
+            }
+            if s.fetch_resume_at > now && !s.redirect_pending {
+                next = next.min(s.fetch_resume_at);
+            }
+            if let Some(c) = self.hierarchy.next_completion() {
+                // Scheduled-but-uncollected miss completions (eager
+                // issue) are events too.
+                if c > now {
+                    next = next.min(c);
+                }
+            }
+            if next == u64::MAX && self.hierarchy.pending_misses() > 0 {
+                // Stall on use: every runnable op waits on an
+                // in-flight miss, so the MSHR file drains. Each
+                // miss is charged from its own arrival cycle, so
+                // batching them here costs no simulated time.
+                self.hierarchy.drain_pending();
+                return true;
+            }
+            debug_assert!(
+                next != u64::MAX,
+                "stalled with no future event: rob={:?}",
+                s.rob
+            );
+            if next == u64::MAX {
+                s.stats.forced_steps += 1;
+                self.now = now + 1;
+            } else {
+                self.now = next;
+            }
+        }
+        true
+    }
+
+    /// Closes a run session: issues fills still sitting in the MSHR
+    /// file (fire-and-forget store misses, loads past the commit
+    /// target) so their memory traffic lands in this window's counters,
+    /// and returns the window statistics.
+    pub fn finish_run(&mut self, mut s: RunSession) -> RunStats {
+        self.hierarchy.drain_pending();
+        self.hierarchy.take_resolutions(&mut s.resolved_buf);
+        s.resolved_buf.clear();
+        s.stats.instructions = s.committed;
+        s.stats.cycles = self.now - s.start_cycle;
+        s.stats
+    }
+}
+
+/// The per-window execution state of one [`Core::run`] window, split
+/// out so a caller can interleave several cores' windows (the
+/// multi-core secure server steps N sessions against one shared
+/// backend). Create with [`Core::begin_run`], drive with
+/// [`Core::step_run`], close with [`Core::finish_run`].
+#[derive(Debug)]
+pub struct RunSession {
+    stats: RunStats,
+    start_cycle: u64,
+    n_ops: u64,
+    rob: VecDeque<Slot>,
+    base: u64, // sequence number of rob.front()
+    dispatched: u64,
+    committed: u64,
+    // Loads waiting on in-flight L2 misses: MSHR token -> absolute
+    // ROB sequence number of the load's slot.
+    // BTreeMap (padlock-lint D1): token -> ROB slot bookkeeping must
+    // stay deterministic if it is ever iterated or debugged.
+    pending_loads: BTreeMap<AccessToken, u64>,
+    resolved_buf: Vec<(AccessToken, u64)>,
+    // Event calendar: future completion cycles of issued ops (and
+    // resolved misses). The min drives the no-progress time jump.
+    completions: BinaryHeap<Reverse<u64>>,
+    // Ready tracking: slots whose producers are all known-complete,
+    // split by port class, in program order (BTreeSet: padlock-lint
+    // D1, and the merge walk needs ordered iteration anyway).
+    ready_mem: BTreeSet<u64>,
+    ready_alu: BTreeSet<u64>,
+    // Slots unblocked but not ready until a future cycle.
+    ready_cal: BTreeMap<u64, Vec<u64>>,
+    // Recycled consumer/calendar vectors (keeps the hot loop off the
+    // allocator).
+    vec_pool: Vec<Vec<u64>>,
+    // Front-end state.
+    fetch_ready_at: u64, // I-miss stall
+    redirect_pending: bool, // mispredict: blocked until resolve
+    fetch_resume_at: u64,
+    pending_op: Option<crate::op::MicroOp>,
+    last_fetch_line: u64,
+    l1i_line: u64,
+}
+
+impl RunSession {
+    /// Ops committed so far in this window.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The window's commit target.
+    pub fn target_ops(&self) -> u64 {
+        self.n_ops
     }
 }
 

@@ -419,6 +419,18 @@ impl ChannelSet {
         all
     }
 
+    /// The fabric-wide fixed-slot traffic totals summed over every
+    /// channel — the cheap `Copy` counterpart of [`ChannelSet::stats`],
+    /// taken before and after each scheduling step when shared-fabric
+    /// traffic has to be attributed to the compartment that caused it.
+    pub fn totals(&self) -> crate::timing::TrafficTotals {
+        self.channels
+            .iter()
+            .fold(crate::timing::TrafficTotals::default(), |acc, ch| {
+                acc.plus(ch.mem().totals())
+            })
+    }
+
     /// Resets every channel's statistics; buffered writes survive.
     pub fn reset_stats(&mut self) {
         for ch in &mut self.channels {

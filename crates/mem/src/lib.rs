@@ -49,4 +49,4 @@ pub use channel::{ChannelSet, ChannelSnapshot, MemoryChannel};
 pub use sched::DrainOrder;
 pub use region::{RegionMap, RegionOverlap};
 pub use sparse::SparseMemory;
-pub use timing::{MemTimingModel, TrafficClass};
+pub use timing::{MemTimingModel, TrafficClass, TrafficTotals};

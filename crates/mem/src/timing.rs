@@ -111,6 +111,79 @@ impl TrafficStats {
     }
 }
 
+/// A point-in-time snapshot of one timing model's fixed-slot traffic
+/// totals: one count/byte pair per [`TrafficClass`] (indexed by the
+/// class discriminant) plus the row-buffer outcomes.
+///
+/// Unlike [`MemTimingModel::stats`], which allocates a rendered
+/// [`CounterSet`], a snapshot is a plain `Copy` struct — cheap enough
+/// to take before and after every scheduling step, which is how the
+/// multi-compartment server attributes shared-fabric traffic to the
+/// compartment that generated it (delta = after [`minus`] before; the
+/// deltas partition the aggregate exactly because every counter is
+/// monotone).
+///
+/// [`minus`]: TrafficTotals::minus
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficTotals {
+    /// Transactions per [`TrafficClass`] discriminant.
+    pub counts: [u64; 5],
+    /// Bytes per [`TrafficClass`] discriminant.
+    pub bytes: [u64; 5],
+    /// Row-buffer hits (banked channels only).
+    pub row_hits: u64,
+    /// Row-buffer conflicts (banked channels only).
+    pub row_conflicts: u64,
+}
+
+impl TrafficTotals {
+    /// The element-wise difference `self - earlier`; `earlier` must be
+    /// an older snapshot of the same monotone counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via underflow) if `earlier` is not an
+    /// older snapshot of the same counters.
+    pub fn minus(self, earlier: Self) -> Self {
+        let mut out = self;
+        for i in 0..out.counts.len() {
+            out.counts[i] -= earlier.counts[i];
+            out.bytes[i] -= earlier.bytes[i];
+        }
+        out.row_hits -= earlier.row_hits;
+        out.row_conflicts -= earlier.row_conflicts;
+        out
+    }
+
+    /// The element-wise sum `self + other` (reassembling compartment
+    /// deltas back into the fabric aggregate).
+    pub fn plus(self, other: Self) -> Self {
+        let mut out = self;
+        for i in 0..out.counts.len() {
+            out.counts[i] += other.counts[i];
+            out.bytes[i] += other.bytes[i];
+        }
+        out.row_hits += other.row_hits;
+        out.row_conflicts += other.row_conflicts;
+        out
+    }
+
+    /// The transaction count of one class.
+    pub fn count(&self, class: TrafficClass) -> u64 {
+        self.counts[class as usize]
+    }
+
+    /// All transactions across classes.
+    pub fn transactions(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// All bytes across classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+}
+
 /// The DRAM + channel timing model.
 ///
 /// Reads complete `access_latency` cycles after they start; every
@@ -189,6 +262,18 @@ impl MemTimingModel {
     /// rendered on demand from the fixed-slot fields.
     pub fn stats(&self) -> CounterSet {
         self.stats.to_counters("mem")
+    }
+
+    /// The fixed-slot traffic totals as a `Copy` snapshot — the cheap
+    /// counterpart of [`MemTimingModel::stats`] for per-step delta
+    /// accounting.
+    pub fn totals(&self) -> TrafficTotals {
+        TrafficTotals {
+            counts: self.stats.counts,
+            bytes: self.stats.bytes,
+            row_hits: self.stats.row_hits,
+            row_conflicts: self.stats.row_conflicts,
+        }
     }
 
     /// Resets statistics (not channel state).

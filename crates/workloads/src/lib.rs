@@ -36,8 +36,8 @@ mod trace;
 
 pub use profile::SpecProfile;
 pub use spec::{
-    benchmark_profile, spec2000_suite, SpecWorkload, ANCIENT_BASE, BENCHMARK_NAMES, CHASE_BASE,
-    CODE_BASE, DRIFT_BASE, HOT_BASE, STREAM_BASE, STRESS_NAMES,
+    benchmark_profile, compartment_assignment, spec2000_suite, SpecWorkload, ANCIENT_BASE,
+    BENCHMARK_NAMES, CHASE_BASE, CODE_BASE, DRIFT_BASE, HOT_BASE, STREAM_BASE, STRESS_NAMES,
 };
 pub use trace::{TracePlayer, TraceRecorder};
 

@@ -400,6 +400,22 @@ pub fn spec2000_suite() -> Vec<SpecWorkload> {
         .collect()
 }
 
+/// Assigns a workload generator to each compartment of an `cores`-core
+/// secure server: round-robin over the figure-order benchmark suite
+/// (compartment `c` runs the `c mod 11`-th profile), or — when `pinned`
+/// names a benchmark — that one generator for every compartment, so a
+/// contention sweep can isolate fabric effects from workload mix.
+/// Generators are fresh (independent RNG state per compartment);
+/// callers offset their addresses into the compartment's stripe.
+pub fn compartment_assignment(cores: usize, pinned: Option<&str>) -> Vec<SpecWorkload> {
+    (0..cores)
+        .map(|c| {
+            let name = pinned.unwrap_or(BENCHMARK_NAMES[c % BENCHMARK_NAMES.len()]);
+            SpecWorkload::new(benchmark_profile(name))
+        })
+        .collect()
+}
+
 /// The calibrated profile for one named benchmark.
 ///
 /// # Panics
@@ -789,6 +805,17 @@ mod tests {
         let suite = spec2000_suite();
         let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
         assert_eq!(names, BENCHMARK_NAMES.to_vec());
+    }
+
+    #[test]
+    fn compartment_assignment_round_robins_and_pins() {
+        let mixed = compartment_assignment(13, None);
+        let names: Vec<&str> = mixed.iter().map(|w| w.name()).collect();
+        assert_eq!(names[0], "ammp");
+        assert_eq!(names[10], "vpr");
+        assert_eq!(names[11], "ammp", "the 12th compartment wraps around");
+        let pinned = compartment_assignment(3, Some("bfs"));
+        assert!(pinned.iter().all(|w| w.name() == "bfs"));
     }
 
     #[test]

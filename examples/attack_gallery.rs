@@ -11,10 +11,10 @@ use padlock_core::{
 };
 use padlock_crypto::CipherKind;
 
-fn fresh(integrity: IntegrityMode) -> SecureMemory {
+fn fresh_as(integrity: IntegrityMode, key: &[u8; 16]) -> SecureMemory {
     let mut m = SecureMemory::new(
         CipherKind::Aes128,
-        &[0x5Au8; 16],
+        key,
         SeedScheme::PaperAdditive,
         128,
         integrity,
@@ -22,6 +22,10 @@ fn fresh(integrity: IntegrityMode) -> SecureMemory {
     m.add_region("data", 0x1_0000, 0x2_0000, LineProtection::OtpDynamic)
         .unwrap();
     m
+}
+
+fn fresh(integrity: IntegrityMode) -> SecureMemory {
+    fresh_as(integrity, &[0x5Au8; 16])
 }
 
 fn label(outcome: AttackOutcome) -> &'static str {
@@ -83,11 +87,38 @@ fn main() {
         m.probe_attack(A, &secret)
     });
 
+    // The secure-server scenario: compartment A's line is captured
+    // (ciphertext, MAC, and spilled sequence number — the full replay
+    // that is UNDETECTED above without a hash root), the scheduler
+    // context-switches to compartment B, and the attacker rolls the
+    // physical region back while B owns it. B's XOM key derives B's
+    // one-time-pad stream, so A's stale ciphertext decrypts to garbage
+    // — per-compartment key isolation holds before any integrity mode
+    // weighs in.
+    let mut row = format!("{:16}", "xcomp rollback");
+    for integrity in [IntegrityMode::None, IntegrityMode::Mac, IntegrityMode::MacTree] {
+        let mut comp_a = fresh_as(integrity, &[0x5Au8; 16]);
+        comp_a.write_line(A, &secret).unwrap();
+        let stale = comp_a.attack_snapshot(A);
+        // After the switch the same physical region is mapped under
+        // compartment B's key; B has since written its own data there.
+        let mut comp_b = fresh_as(integrity, &[0xC3u8; 16]);
+        comp_b.write_line(A, &updated).unwrap();
+        comp_b.attack_replay(&stale);
+        row.push_str(&format!("  {:24}", label(comp_b.probe_attack(A, &secret))));
+    }
+    println!("{row}");
+
     println!(
         "\nReading the matrix: plain MACs stop spoofing and splicing (the\n\
          tag binds ciphertext to its address) but full replay — data,\n\
          MAC, and spilled sequence number together — needs the on-chip\n\
          root hash, matching the paper's deferral of replay defence to\n\
-         Gassend et al.'s hash trees."
+         Gassend et al.'s hash trees. The cross-compartment rollback\n\
+         row is the exception that needs no tree: replaying compartment\n\
+         A's stale line after a context switch to compartment B fails\n\
+         even without integrity, because each compartment's pads are\n\
+         derived from its own vendor key (§2.3) — A's ciphertext under\n\
+         B's key stream is noise."
     );
 }
